@@ -1,0 +1,232 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§6), plus simulator-infrastructure benchmarks.
+//
+// The experiment benchmarks execute the full simulation for their
+// table/figure in quick mode and report the headline *simulated* metrics
+// via b.ReportMetric (ns/op then measures the wall cost of regenerating
+// the experiment). Run the full-size versions through cmd/latr-bench.
+package latr_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"latr"
+)
+
+func quickOpts() latr.ExperimentOptions {
+	return latr.ExperimentOptions{Quick: true, Seed: 1}
+}
+
+// cell parses a numeric prefix out of a formatted table cell like
+// "9.40us" or "+76.1%" or "123.4k/s".
+func cell(t *latr.ExperimentTable, row, col int) float64 {
+	s := t.Rows[row][col]
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s, "us"), "%"), "k/s")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		panic("bench: cannot parse cell " + t.Rows[row][col])
+	}
+	return v
+}
+
+// BenchmarkFig06MunmapCores regenerates Figure 6 (munmap latency vs cores,
+// 2-socket machine) and reports the 16-core headline numbers.
+func BenchmarkFig06MunmapCores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig6")
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last, 1), "linux_munmap_us")
+		b.ReportMetric(cell(t, last, 3), "latr_munmap_us")
+		b.ReportMetric(cell(t, last, 5), "improvement_pct")
+	}
+}
+
+// BenchmarkFig07MunmapLargeNUMA regenerates Figure 7 (8-socket/120-core).
+func BenchmarkFig07MunmapLargeNUMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig7")
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last, 1), "linux_munmap_us")
+		b.ReportMetric(cell(t, last, 3), "latr_munmap_us")
+	}
+}
+
+// BenchmarkFig08MunmapPages regenerates Figure 8 (pages sweep) and reports
+// the 1-page and 512-page improvements.
+func BenchmarkFig08MunmapPages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig8")
+		b.ReportMetric(cell(t, 0, 4), "improvement_1page_pct")
+		b.ReportMetric(cell(t, len(t.Rows)-1, 4), "improvement_512pages_pct")
+	}
+}
+
+// BenchmarkFig09Apache regenerates Figures 1/9 and reports the 12-core
+// throughputs.
+func BenchmarkFig09Apache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig9")
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last, 1)*1000, "linux_req_per_s")
+		b.ReportMetric(cell(t, last, 2)*1000, "abis_req_per_s")
+		b.ReportMetric(cell(t, last, 3)*1000, "latr_req_per_s")
+	}
+}
+
+// BenchmarkFig10Parsec regenerates Figure 10 (PARSEC suite) and reports
+// the dedup and canneal effects.
+func BenchmarkFig10Parsec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig10")
+		for r := range t.Rows {
+			switch t.Rows[r][0] {
+			case "dedup":
+				b.ReportMetric(cell(t, r, 2), "dedup_norm_runtime")
+			case "canneal":
+				b.ReportMetric(cell(t, r, 2), "canneal_norm_runtime")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11NumaMigration regenerates Figure 11 (AutoNUMA apps).
+func BenchmarkFig11NumaMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig11")
+		for r := range t.Rows {
+			if t.Rows[r][0] == "graph500" {
+				b.ReportMetric(cell(t, r, 2), "graph500_norm_runtime")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Overhead regenerates Figure 12 (low-shootdown apps).
+func BenchmarkFig12Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "fig12")
+		for r := range t.Rows {
+			if t.Rows[r][0] == "canneal_16" {
+				b.ReportMetric(cell(t, r, 2), "canneal16_norm_perf")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4CacheMisses regenerates Table 4 (LLC miss ratios).
+func BenchmarkTable4CacheMisses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "table4")
+		// apache_6 row: relative change in percent.
+		for r := range t.Rows {
+			if t.Rows[r][0] == "apache_6" {
+				b.ReportMetric(cell(t, r, 3), "apache6_llc_delta_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkTable5Breakdown regenerates Table 5 (operation breakdown).
+func BenchmarkTable5Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "table5")
+		save := strings.TrimSuffix(t.Rows[0][1], "ns")
+		sweep := strings.TrimSuffix(t.Rows[1][1], "ns")
+		linux := strings.TrimSuffix(t.Rows[2][1], "ns")
+		report := func(name, v string) {
+			f, err := strconv.ParseFloat(v, 64)
+			if err == nil {
+				b.ReportMetric(f, name)
+			}
+		}
+		report("state_save_ns", save)
+		report("sweep_visit_ns", sweep)
+		report("linux_shootdown_ns", linux)
+	}
+}
+
+// BenchmarkMemOverhead regenerates the §6.4 lazy-memory analysis.
+func BenchmarkMemOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "mem")
+		peak := strings.TrimSuffix(t.Rows[len(t.Rows)-1][1], " MB")
+		if f, err := strconv.ParseFloat(peak, 64); err == nil {
+			b.ReportMetric(f, "peak_lazy_mb_512pages")
+		}
+	}
+}
+
+// BenchmarkIPILatency regenerates the §1 IPI/shootdown anchors.
+func BenchmarkIPILatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "ipi")
+		b.ReportMetric(cell(t, 0, 3), "shootdown_16c_us")
+		b.ReportMetric(cell(t, 1, 3), "shootdown_120c_us")
+	}
+}
+
+// BenchmarkAblationQueueDepth sweeps the LATR state-queue depth.
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustRun(b, "abl-depth")
+	}
+}
+
+// BenchmarkAblationTransport separates interrupt cost from waiting cost.
+func BenchmarkAblationTransport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "abl-transport")
+		for r := range t.Rows {
+			b.ReportMetric(cell(t, r, 1), t.Rows[r][0]+"_munmap_us")
+		}
+	}
+}
+
+// BenchmarkAblationReclaimDelay sweeps the lazy-reclamation delay.
+func BenchmarkAblationReclaimDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustRun(b, "abl-delay")
+	}
+}
+
+// BenchmarkAblationVariants exercises the PCID and tickless modes.
+func BenchmarkAblationVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mustRun(b, "abl-variants")
+	}
+}
+
+// BenchmarkAblationTHP exercises the §7 huge-page extension.
+func BenchmarkAblationTHP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := mustRun(b, "abl-thp")
+		for r := range t.Rows {
+			b.ReportMetric(cell(t, r, 2), t.Rows[r][0]+"_huge_munmap_us")
+		}
+	}
+}
+
+func mustRun(b *testing.B, id string) *latr.ExperimentTable {
+	b.Helper()
+	t, err := latr.RunExperiment(id, quickOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// BenchmarkSimulatorEventThroughput measures the raw discrete-event engine
+// speed (real events/second) — infrastructure, not a paper result.
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	sys := latr.NewSystem(latr.Config{Policy: latr.PolicyLATR})
+	w := latr.NewApache(latr.DefaultApacheConfig(latr.CoreList(12)))
+	w.Setup(sys.Kernel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(sys.Now() + latr.Millisecond)
+	}
+	b.ReportMetric(float64(sys.Kernel().Engine.Dispatched())/float64(b.N), "events/op")
+}

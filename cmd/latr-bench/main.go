@@ -1,0 +1,62 @@
+// Command latr-bench regenerates the paper's evaluation: every table and
+// figure of §6 plus the ablation studies.
+//
+// Usage:
+//
+//	latr-bench                      # run everything (can take minutes)
+//	latr-bench -exp fig6,fig9       # run a subset
+//	latr-bench -list                # list experiment ids
+//	latr-bench -quick               # smaller runs, same shapes
+//	latr-bench -ablations           # run the ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"latr"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "", "comma-separated experiment ids (default: all figures+tables)")
+		quick     = flag.Bool("quick", false, "smaller runs (same shapes, less precision)")
+		ablations = flag.Bool("ablations", false, "also run the ablation studies")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		check     = flag.Bool("check", false, "enable the TLB reuse-invariant checker (slower)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range latr.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	o := latr.ExperimentOptions{Quick: *quick, Seed: *seed, CheckInvariants: *check}
+
+	ids := latr.Experiments()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	} else if !*ablations {
+		// Default set: the paper's tables and figures, without ablations.
+		ids = ids[:14]
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tbl, err := latr.RunExperiment(id, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,135 @@
+// Command latr-sim runs a single workload scenario on a chosen machine and
+// coherence policy and dumps the metrics — the exploratory companion to
+// latr-bench.
+//
+// Usage:
+//
+//	latr-sim -policy latr -workload apache -cores 12 -duration 500ms
+//	latr-sim -policy linux -workload micro -cores 16 -pages 8
+//	latr-sim -machine 8x15 -policy latr -workload micro -cores 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"latr"
+)
+
+func parseMachine(s string) (latr.MachineSpec, error) {
+	switch s {
+	case "2x8", "small":
+		return latr.TwoSocket16, nil
+	case "8x15", "large":
+		return latr.EightSocket120, nil
+	}
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) == 2 {
+		sockets, err1 := strconv.Atoi(parts[0])
+		per, err2 := strconv.Atoi(parts[1])
+		if err1 == nil && err2 == nil {
+			return latr.CustomMachine(sockets, per), nil
+		}
+	}
+	return latr.MachineSpec{}, fmt.Errorf("bad machine %q (want 2x8, 8x15, or NxM)", s)
+}
+
+func main() {
+	var (
+		machine  = flag.String("machine", "2x8", "machine: 2x8, 8x15, or NxM sockets x cores")
+		policy   = flag.String("policy", "latr", "coherence policy: linux, latr, abis, barrelfish, instant")
+		wl       = flag.String("workload", "apache", "workload: micro, apache, nginx, parsec:<name>, graph500, pbzip2, metis, ocean, fluidanimate")
+		cores    = flag.Int("cores", 12, "worker cores")
+		pages    = flag.Int("pages", 1, "pages per op (micro)")
+		iters    = flag.Int("iters", 200, "iterations (micro)")
+		duration = flag.Duration("duration", 500*time.Millisecond, "simulated duration for server workloads")
+		numaOn   = flag.Bool("numa", false, "enable AutoNUMA balancing")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		check    = flag.Bool("check", false, "enable the TLB reuse-invariant checker")
+		dump     = flag.Bool("dump", true, "dump all metrics at the end")
+	)
+	flag.Parse()
+
+	spec, err := parseMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := latr.Config{
+		Machine:         spec,
+		Policy:          latr.PolicyKind(*policy),
+		Seed:            *seed,
+		CheckInvariants: *check,
+	}
+	if *numaOn {
+		cfg.AutoNUMA = &latr.AutoNUMAConfig{}
+	}
+	sys := latr.NewSystem(cfg)
+	k := sys.Kernel()
+	cl := latr.CoreList(*cores)
+
+	var done func() bool = func() bool { return false }
+	switch {
+	case *wl == "micro":
+		w := latr.NewMicro(latr.MicroConfig{Cores: *cores, Pages: *pages, Iters: *iters})
+		w.Setup(k)
+		done = w.Done
+	case *wl == "apache":
+		latr.NewApache(latr.DefaultApacheConfig(cl)).Setup(k)
+	case *wl == "nginx":
+		latr.NewNginx(latr.DefaultNginxConfig(cl)).Setup(k)
+	case strings.HasPrefix(*wl, "parsec:"):
+		name := strings.TrimPrefix(*wl, "parsec:")
+		prof, ok := latr.ParsecProfileByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown parsec benchmark %q\n", name)
+			os.Exit(1)
+		}
+		w := latr.NewParsec(prof, cl)
+		w.Setup(k)
+		done = w.Done
+	case *wl == "graph500":
+		w := latr.NewGraph500(latr.DefaultGraph500Config(cl))
+		w.Setup(k)
+		done = w.Done
+	case *wl == "pbzip2":
+		w := latr.NewPBZIP2(latr.DefaultPBZIP2Config(cl))
+		w.Setup(k)
+		done = w.Done
+	case *wl == "metis":
+		w := latr.NewMetis(latr.DefaultMetisConfig(cl))
+		w.Setup(k)
+		done = w.Done
+	case *wl == "ocean":
+		w := latr.NewGrid(latr.OceanConfig(cl))
+		w.Setup(k)
+		done = w.Done
+	case *wl == "fluidanimate":
+		w := latr.NewGrid(latr.FluidanimateConfig(cl))
+		w.Setup(k)
+		done = w.Done
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	limit := latr.Time(duration.Nanoseconds())
+	step := 10 * latr.Millisecond
+	for sys.Now() < limit && !done() {
+		next := sys.Now() + step
+		if next > limit {
+			next = limit
+		}
+		sys.Run(next)
+	}
+
+	fmt.Printf("machine=%s policy=%s workload=%s simulated=%v\n",
+		spec.Name, *policy, *wl, sys.Now())
+	if *dump {
+		fmt.Print(sys.Metrics().Dump())
+	}
+}

@@ -1,0 +1,34 @@
+// Command latr-trace emits the operation timelines of Figures 2 and 3:
+// what each core does, nanosecond by nanosecond, while a page is unmapped
+// (munmap) or sampled for NUMA migration, under Linux and under LATR.
+//
+// Usage:
+//
+//	latr-trace -scenario munmap
+//	latr-trace -scenario autonuma
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latr"
+)
+
+func main() {
+	scenario := flag.String("scenario", "munmap", "scenario: munmap (Fig 2) or autonuma (Fig 3)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	o := latr.ExperimentOptions{Quick: true, Seed: *seed}
+	switch *scenario {
+	case "munmap":
+		fmt.Print(latr.Fig2Timeline(o))
+	case "autonuma":
+		fmt.Print(latr.Fig3Timeline(o))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (want munmap or autonuma)\n", *scenario)
+		os.Exit(1)
+	}
+}

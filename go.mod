@@ -1,0 +1,3 @@
+module latr
+
+go 1.22

@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"testing"
+
+	"latr/internal/sim"
+)
+
+func TestInterruptsRaiseMissRatio(t *testing.T) {
+	m := DefaultModel(0.05)
+	quiet := m.MissRatio(Activity{Duration: sim.Second})
+	noisy := m.MissRatio(Activity{Duration: sim.Second, IPIHandled: 300000})
+	if noisy <= quiet {
+		t.Fatalf("interrupts did not raise the ratio: %v vs %v", noisy, quiet)
+	}
+	if noisy-quiet > 0.01 {
+		t.Fatalf("pollution term implausibly large: +%v", noisy-quiet)
+	}
+}
+
+func TestSweepsCostLessThanInterrupts(t *testing.T) {
+	m := DefaultModel(0.10)
+	viaIPI := m.MissRatio(Activity{Duration: sim.Second, IPIHandled: 100000})
+	viaSweep := m.MissRatio(Activity{Duration: sim.Second, Sweeps: 100000})
+	if viaSweep >= viaIPI {
+		t.Fatalf("sweep footprint (%v) should be cheaper than interrupt pollution (%v)", viaSweep, viaIPI)
+	}
+}
+
+func TestMissRatioClampsAndEdges(t *testing.T) {
+	m := DefaultModel(0.999)
+	r := m.MissRatio(Activity{Duration: sim.Millisecond, IPIHandled: 1e9})
+	if r > 1 {
+		t.Fatalf("ratio exceeded 1: %v", r)
+	}
+	if got := m.MissRatio(Activity{}); got != 0.999 {
+		t.Fatalf("zero-duration should return base: %v", got)
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(0.0160, 0.0155); got > -3.0 || got < -3.3 {
+		t.Fatalf("apache6-style change = %v, want ~-3.1%%", got)
+	}
+	if RelativeChange(0, 0.5) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}

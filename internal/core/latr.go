@@ -1,0 +1,429 @@
+// Package core implements LATR — lazy TLB coherence (§3–§4).
+//
+// Instead of IPIs, the unmap path records a per-core LATR state (address
+// range, mm, CPU bitmask, flags, active bit). Every core sweeps all cores'
+// states at its scheduler ticks and context switches, invalidates its own
+// TLB for relevant entries, and clears its bitmask bit; the last core
+// deactivates the state. Freed virtual and physical pages sit on lazy
+// lists until a background reclaim pass frees them two tick periods later,
+// upholding the invariant that memory is reused only after every TLB entry
+// for it is gone.
+package core
+
+import (
+	"fmt"
+
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// Config tunes the LATR mechanism; zero fields take paper defaults.
+type Config struct {
+	// QueueDepth is the number of LATR states per core (64 in the paper;
+	// overflowing falls back to IPIs — §4.2, §8).
+	QueueDepth int
+	// ReclaimDelay is how long freed memory parks on the lazy lists (twice
+	// the scheduler tick, 2 ms, in the paper — §4.2).
+	ReclaimDelay sim.Time
+	// ReclaimPeriod is how often the background reclaim thread runs.
+	ReclaimPeriod sim.Time
+	// DisableTickSweep and DisableContextSwitchSweep turn off the sweep
+	// trigger points (both on in the paper; ablation knobs here).
+	DisableTickSweep          bool
+	DisableContextSwitchSweep bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:    64,
+		ReclaimDelay:  2 * sim.Millisecond,
+		ReclaimPeriod: sim.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.QueueDepth == 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.ReclaimDelay == 0 {
+		c.ReclaimDelay = d.ReclaimDelay
+	}
+	if c.ReclaimPeriod == 0 {
+		c.ReclaimPeriod = d.ReclaimPeriod
+	}
+	return c
+}
+
+// State is one LATR state entry (Fig 4): 68 bytes in the paper's kernel.
+type State struct {
+	Active    bool
+	Migration bool
+	MM        *kernel.MM
+	Start     pt.VPN
+	Pages     int
+	Mask      topo.CoreMask
+
+	// pteDone marks that the first sweeping core performed the deferred
+	// page-table unmap of a migration state (§4.3).
+	pteDone bool
+	// waiters are migration-gated faults released when the state clears.
+	waiters []func()
+
+	recordedAt sim.Time
+}
+
+// Policy is the LATR coherence policy.
+type Policy struct {
+	k   *kernel.Kernel
+	cfg Config
+
+	// queues[core][slot]: the per-core cyclic state arrays. Slots are
+	// reused once inactive.
+	queues [][]State
+
+	reclaim []reclaimEntry
+}
+
+type reclaimEntry struct {
+	u         kernel.Unmap
+	state     *State // nil when no remote cores participated
+	deadline  sim.Time
+	initiator *kernel.Core
+}
+
+var (
+	_ kernel.Policy   = (*Policy)(nil)
+	_ kernel.Attacher = (*Policy)(nil)
+)
+
+// New returns a LATR policy with cfg (zero-value fields take defaults).
+func New(cfg Config) *Policy {
+	return &Policy{cfg: cfg.withDefaults()}
+}
+
+// Attach implements kernel.Attacher: it sizes the per-core queues and
+// starts the background reclaim thread.
+func (p *Policy) Attach(k *kernel.Kernel) {
+	p.k = k
+	n := k.Spec.NumCores()
+	p.queues = make([][]State, n)
+	for i := range p.queues {
+		p.queues[i] = make([]State, p.cfg.QueueDepth)
+	}
+	k.Engine.At(p.cfg.ReclaimPeriod/2, p.reclaimPass)
+}
+
+// Name implements kernel.Policy.
+func (p *Policy) Name() string { return "latr" }
+
+// Config returns the active configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// targetsMask converts the kernel's shootdown target set to a bitmask.
+func (p *Policy) targetsMask(c *kernel.Core, mm *kernel.MM) topo.CoreMask {
+	var mask topo.CoreMask
+	for _, t := range p.k.ShootdownTargets(c, mm) {
+		mask.Set(t.ID)
+	}
+	return mask
+}
+
+// record claims a free slot in core c's state array. ok is false when all
+// slots are active (the fallback-IPI condition).
+func (p *Policy) record(c *kernel.Core, s State) (*State, bool) {
+	q := p.queues[c.ID]
+	for i := range q {
+		if !q[i].Active {
+			s.Active = true
+			s.recordedAt = p.k.Now()
+			q[i] = s
+			p.k.Metrics.Inc("latr.states_recorded", 1)
+			return &q[i], true
+		}
+	}
+	return nil, false
+}
+
+// Munmap implements kernel.Policy — the lazy free path of Fig 2b: save the
+// state, park memory on the lazy lists, return immediately.
+func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
+	k := p.k
+	mask := p.targetsMask(c, u.MM)
+
+	var st *State
+	if !mask.Empty() || u.ForceSync {
+		var ok bool
+		if !u.ForceSync {
+			st, ok = p.record(c, State{MM: u.MM, Start: u.Start, Pages: u.Pages, Mask: mask})
+		}
+		if !ok {
+			// All 64 states busy — or the caller requested synchronous
+			// semantics (§7's opt-out flag): fall back to the synchronous
+			// IPI mechanism (§4.2) and free immediately like Linux.
+			if u.ForceSync {
+				k.Metrics.Inc("latr.forced_sync", 1)
+			} else {
+				k.Metrics.Inc("latr.fallback_ipi", 1)
+			}
+			targets := k.ShootdownTargets(c, u.MM)
+			k.Metrics.Inc("shootdown.initiated", 1)
+			k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, func() {
+				freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+				c.Busy(freeCost, false, func() {
+					k.ReleaseFrames(u.Frames)
+					if !u.KeepVMA {
+						k.ReleaseVA(u.MM, u.Start, u.Pages)
+					}
+					done()
+				})
+			})
+			return
+		}
+		k.Metrics.Inc("shootdown.initiated", 1)
+	}
+
+	c.Busy(k.Cost.LATRStateSave+sim.Time(u.Pages)*k.Cost.LATRLazyPerPage, false, func() {
+		k.Metrics.Observe("latr.state_save", k.Cost.LATRStateSave)
+		// Lazy reclamation (§4.2): VA and frames leave circulation but are
+		// not freed yet.
+		if !u.KeepVMA {
+			u.MM.Space.MarkLazy(u.Pages)
+		}
+		k.Metrics.GaugeAdd("latr.lazy_frames", int64(len(u.Frames)))
+		k.Metrics.GaugeAdd("latr.lazy_bytes", int64(u.Pages)*4096)
+		p.reclaim = append(p.reclaim, reclaimEntry{
+			u:         u,
+			state:     st,
+			deadline:  k.Now() + p.cfg.ReclaimDelay,
+			initiator: c,
+		})
+		k.Trace(c.ID, "latr", "state saved [%#x,+%d) mask=%v", uint64(u.Start.Addr()), u.Pages, mask)
+		done()
+	})
+}
+
+// SyncChange implements kernel.Policy: permission/remap changes cannot be
+// lazy (Table 1), so LATR uses the stock IPI path.
+func (p *Policy) SyncChange(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	targets := p.k.ShootdownTargets(c, mm)
+	if len(targets) == 0 {
+		done()
+		return
+	}
+	p.k.Metrics.Inc("shootdown.initiated", 1)
+	p.k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+}
+
+// NUMAUnmap implements kernel.Policy — the lazy migration path of Fig 3b:
+// record a migration state without touching the page table. The first core
+// to sweep the state performs the deferred unmap; every core invalidates
+// locally; faults gate on the state clearing (§4.3, §4.4).
+func (p *Policy) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	k := p.k
+	mask := p.targetsMask(c, mm)
+	mask.Set(c.ID) // the initiator also sweeps (Fig 3b: core 2 clears the PTE at its tick)
+
+	if _, ok := p.record(c, State{MM: mm, Start: start, Pages: pages, Mask: mask, Migration: true}); !ok {
+		// Fallback: do what Linux does, synchronously.
+		k.Metrics.Inc("latr.fallback_ipi", 1)
+		for i := 0; i < pages; i++ {
+			mm.PT.SetNUMAHint(start+pt.VPN(i), true)
+		}
+		if pages > k.Cost.FullFlushThreshold {
+			c.TLB.FlushAll()
+		} else {
+			c.TLB.InvalidateRange(c.PCIDOf(mm), start, start+pt.VPN(pages))
+		}
+		c.Busy(sim.Time(pages)*k.Cost.PTEClearPerPage+k.Cost.InvalidateCost(pages), true, func() {
+			targets := k.ShootdownTargets(c, mm)
+			if len(targets) == 0 {
+				done()
+				return
+			}
+			k.Metrics.Inc("shootdown.initiated", 1)
+			k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+		})
+		return
+	}
+	k.Metrics.Inc("shootdown.initiated", 1)
+	k.Metrics.Inc("latr.migration_states", 1)
+	c.Busy(k.Cost.LATRStateSave, false, done)
+}
+
+// OnTick implements kernel.Policy.
+func (p *Policy) OnTick(c *kernel.Core) sim.Time {
+	if p.cfg.DisableTickSweep {
+		return 0
+	}
+	return p.sweep(c)
+}
+
+// OnContextSwitch implements kernel.Policy. Under PCIDs the sweep at
+// context switch is mandatory — it runs before the PCID change (§4.5).
+func (p *Policy) OnContextSwitch(c *kernel.Core) sim.Time {
+	if p.cfg.DisableContextSwitchSweep {
+		return 0
+	}
+	return p.sweep(c)
+}
+
+// OnPageTouch implements kernel.Policy.
+func (p *Policy) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }
+
+// sweep scans all cores' state arrays on behalf of core c (§4.1
+// "Asynchronous remote shootdown"), invalidating c's TLB for every state
+// whose bitmask includes c and clearing the bit. Mirroring Linux's
+// threshold, a sweep whose states cover more than FullFlushThreshold pages
+// does one full flush instead of per-page INVLPGs.
+func (p *Policy) sweep(c *kernel.Core) sim.Time {
+	k := p.k
+	m := &k.Cost
+	var relevant []*State
+	totalPages := 0
+	for coreIdx := range p.queues {
+		q := p.queues[coreIdx]
+		for i := range q {
+			st := &q[i]
+			if st.Active && st.Mask.Has(c.ID) {
+				relevant = append(relevant, st)
+				totalPages += st.Pages
+			}
+		}
+	}
+	cost := m.LATRSweepBase
+	if len(relevant) == 0 {
+		return cost
+	}
+	k.Metrics.Inc("latr.sweeps_with_work", 1)
+
+	fullFlush := totalPages > m.FullFlushThreshold
+	if fullFlush {
+		c.TLB.FlushAll()
+		cost += m.TLBFullFlush
+	}
+	for _, st := range relevant {
+		if st.Migration && !st.pteDone {
+			// First sweeping core performs the deferred page-table unmap
+			// ("Clear PTE" in Fig 3b).
+			for i := 0; i < st.Pages; i++ {
+				st.MM.PT.SetNUMAHint(st.Start+pt.VPN(i), true)
+			}
+			st.pteDone = true
+			cost += sim.Time(st.Pages) * m.PTEClearPerPage
+		}
+		if !fullFlush {
+			c.TLB.InvalidateRange(c.PCIDOf(st.MM), st.Start, st.Start+pt.VPN(st.Pages))
+			cost += sim.Time(st.Pages) * m.InvlpgLocal
+		}
+		cost += m.LATRSweepPerEntry
+		k.Metrics.Observe("latr.sweep_visit", m.LATRSweepPerEntry)
+		k.Trace(c.ID, "sweep", "invalidate [%#x,+%d), clear bit", uint64(st.Start.Addr()), st.Pages)
+		st.Mask.Clear(c.ID)
+		if st.Mask.Empty() {
+			p.completeState(st)
+		}
+	}
+	return cost
+}
+
+// completeState deactivates a fully-swept state and releases gated faults.
+func (p *Policy) completeState(st *State) {
+	st.Active = false
+	p.k.Metrics.Inc("latr.states_completed", 1)
+	p.k.Metrics.Observe("latr.state_lifetime", p.k.Now()-st.recordedAt)
+	if len(st.waiters) > 0 {
+		ws := st.waiters
+		st.waiters = nil
+		for _, w := range ws {
+			w := w
+			p.k.Engine.At(p.k.Now(), func(sim.Time) { w() })
+		}
+	}
+}
+
+// GateMigration defers a NUMA-hint fault while a migration state covering
+// vpn is still being swept (§4.4: the fault may proceed only after all
+// cores invalidated). It reports whether the fault was deferred; cont runs
+// when the state clears.
+func (p *Policy) GateMigration(mm *kernel.MM, vpn pt.VPN, cont func()) bool {
+	for coreIdx := range p.queues {
+		q := p.queues[coreIdx]
+		for i := range q {
+			st := &q[i]
+			if st.Active && st.Migration && st.MM == mm &&
+				vpn >= st.Start && vpn < st.Start+pt.VPN(st.Pages) {
+				st.waiters = append(st.waiters, cont)
+				p.k.Metrics.Inc("latr.migration_gated", 1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reclaimPass is the background reclaim thread (Fig 2b "Lazy reclaim"):
+// every period it frees lazy-list entries older than the reclaim delay.
+// As a robustness extension over the paper's fixed 2 ms assumption, an
+// entry whose state is somehow still active (e.g. a core that has not
+// ticked due to extreme IRQ-off pressure) is deferred another period
+// rather than freed unsafely.
+func (p *Policy) reclaimPass(now sim.Time) {
+	k := p.k
+	defer k.Engine.At(now+p.cfg.ReclaimPeriod, p.reclaimPass)
+
+	keep := p.reclaim[:0]
+	var freed int
+	for _, e := range p.reclaim {
+		if e.deadline > now {
+			keep = append(keep, e)
+			continue
+		}
+		if e.state != nil && e.state.Active {
+			k.Metrics.Inc("latr.reclaim_deferred", 1)
+			e.deadline = now + p.cfg.ReclaimPeriod
+			keep = append(keep, e)
+			continue
+		}
+		k.ReleaseFrames(e.u.Frames)
+		if !e.u.KeepVMA {
+			e.u.MM.Space.ReleaseLazy(e.u.Start, e.u.Pages)
+		}
+		k.Metrics.GaugeAdd("latr.lazy_frames", -int64(len(e.u.Frames)))
+		k.Metrics.GaugeAdd("latr.lazy_bytes", -int64(e.u.Pages)*4096)
+		k.Metrics.Inc("latr.reclaimed", 1)
+		k.Trace(e.initiator.ID, "reclaim", "freed [%#x,+%d) after %v", uint64(e.u.Start.Addr()), e.u.Pages, now-(e.deadline-p.cfg.ReclaimDelay))
+		// The reclaim work steals CPU on the initiating core, like the
+		// kernel thread would.
+		e.initiator.Inject(k.Cost.LATRReclaimPerEntry)
+		freed++
+	}
+	p.reclaim = keep
+	if freed > 0 {
+		k.Metrics.Observe("latr.reclaim_batch", sim.Time(freed))
+	}
+}
+
+// PendingStates reports active states across all cores (for tests).
+func (p *Policy) PendingStates() int {
+	n := 0
+	for _, q := range p.queues {
+		for i := range q {
+			if q[i].Active {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PendingReclaim reports entries awaiting lazy reclamation (for tests).
+func (p *Policy) PendingReclaim() int { return len(p.reclaim) }
+
+// String describes the policy configuration.
+func (p *Policy) String() string {
+	return fmt.Sprintf("latr(depth=%d, delay=%v)", p.cfg.QueueDepth, p.cfg.ReclaimDelay)
+}

@@ -1,0 +1,237 @@
+// Package cost centralises every latency constant of the machine model.
+//
+// Each constant is annotated with the paper measurement that anchors it.
+// The absolute values are calibrations, not claims; the experiments in
+// internal/experiments only rely on relative behaviour (which policy wins,
+// by what factor, and where crossovers fall), which emerges from the
+// mechanism rather than the constants.
+package cost
+
+import (
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// Model holds the latency parameters of one machine. Durations are virtual
+// nanoseconds.
+type Model struct {
+	// --- CPU / kernel entry ---
+
+	// SyscallEntry covers user→kernel→user transition per system call.
+	SyscallEntry sim.Time
+	// VMAOp covers VMA lookup/split/merge per mmap or munmap call.
+	VMAOp sim.Time
+	// MmapSetupPerPage covers allocating and wiring one page on mmap.
+	MmapSetupPerPage sim.Time
+
+	// --- Page table ---
+
+	// PTEClearPerPage covers clearing one PTE (walk amortised over a range).
+	PTEClearPerPage sim.Time
+	// PTWalk is a full 4-level page-table walk on TLB miss.
+	PTWalk sim.Time
+	// FreePerPage covers returning one physical page to the allocator
+	// (zone-lock work included).
+	FreePerPage sim.Time
+
+	// --- TLB ---
+
+	// TLBHit is the added latency of a memory access that hits the TLB.
+	TLBHit sim.Time
+	// InvlpgLocal is one local INVLPG.
+	InvlpgLocal sim.Time
+	// TLBFullFlush is a local full flush (CR3 write).
+	TLBFullFlush sim.Time
+	// FullFlushThreshold mirrors Linux: invalidating more than this many
+	// pages at once becomes a full flush (33 in Linux 4.10, half the
+	// 64-entry L1 D-TLB — §4.1).
+	FullFlushThreshold int
+
+	// --- IPI path (anchors: §1 — IPI 2.7 µs @2 sockets, 6.6 µs two-hop;
+	// Table 5 — one Linux shootdown 1594.2 ns of initiator work;
+	// Fig 6/7 — total shootdown 6 µs @16 cores, ~82 µs @120 cores) ---
+
+	// IPISendBase is the initiator's fixed cost to set up a shootdown
+	// (fill flush info, read mm_cpumask).
+	IPISendBase sim.Time
+	// IPISendPerTarget is the initiator's serialized APIC ICR cost per
+	// destination, indexed by interconnect hops (0, 1, 2).
+	IPISendPerTarget [3]sim.Time
+	// IPIDeliver is the wire latency from ICR write to remote vector
+	// dispatch, indexed by hops.
+	IPIDeliver [3]sim.Time
+	// IPIHandlerEntry covers remote interrupt entry/exit (vector dispatch,
+	// register save/restore) before any invalidation work.
+	IPIHandlerEntry sim.Time
+	// IPIAckWrite is the remote store + coherence transfer for the ACK.
+	IPIAckWrite sim.Time
+	// IPIHandlerPollution approximates the pipeline/cache disturbance an
+	// interrupt inflicts on the preempted thread beyond handler runtime
+	// (Table 4 attributes LATR's LLC-miss advantage to removed handlers).
+	IPIHandlerPollution sim.Time
+
+	// --- LATR (anchors: Table 5 — save 132.3 ns, sweep 158.0 ns) ---
+
+	// LATRStateSave is the initiator's cost to fill and activate one state.
+	LATRStateSave sim.Time
+	// LATRSweepBase is the fixed cost of scanning all cores' state arrays
+	// once (prefetch-friendly contiguous reads — §4.1).
+	LATRSweepBase sim.Time
+	// LATRSweepPerEntry is the added cost per *relevant* active entry
+	// (bitmask check, invalidation bookkeeping, atomic bit clear).
+	LATRSweepPerEntry sim.Time
+	// LATRReclaimPerEntry is the background thread's cost to free one lazy
+	// list entry (VMA + pages).
+	LATRReclaimPerEntry sim.Time
+	// LATRLazyPerPage is the munmap-time cost of moving one page onto the
+	// lazy lists (the paper's Fig 8 shows LATR's advantage shrinking to
+	// 7.5%% at 512 pages: deferring the free does not remove the per-page
+	// bookkeeping).
+	LATRLazyPerPage sim.Time
+
+	// --- Scheduler ---
+
+	// ContextSwitch is a full context switch (state save, runqueue, CR3).
+	ContextSwitch sim.Time
+	// SchedTickWork is the baseline timer-interrupt work each tick.
+	SchedTickWork sim.Time
+	// SchedTickPeriod is the scheduler tick interval (1 ms on x86 Linux).
+	SchedTickPeriod sim.Time
+	// SchedQuantum is the round-robin timeslice.
+	SchedQuantum sim.Time
+
+	// --- Memory / NUMA ---
+
+	// DRAMLocal and DRAMRemote are per-cacheline access latencies used by
+	// workload access modelling; DRAMRemote applies across sockets.
+	DRAMLocal  sim.Time
+	DRAMRemote sim.Time
+	// PageCopy is copying one 4 KB page cross-node during migration.
+	PageCopy sim.Time
+	// PageFaultEntry is fault handling overhead before policy work.
+	PageFaultEntry sim.Time
+	// MigrationBookkeeping is the non-copy, non-shootdown part of one
+	// AutoNUMA migration (rmap walk, LRU, mapcount checks).
+	MigrationBookkeeping sim.Time
+
+	// --- Contention ---
+
+	// MunmapContentionPerCore models mmap_sem/zone-lock interference per
+	// core actively sharing the mm during address-space mutation. It is the
+	// calibration that gives Fig 7's ~38 µs non-shootdown munmap cost at
+	// 120 cores while keeping ~2.3 µs at 16 cores.
+	MunmapContentionPerCore sim.Time
+
+	// --- ABIS (anchor: Fig 9 — ABIS below Linux under 8 cores due to
+	// access-bit maintenance, above beyond) ---
+
+	// ABISTrackPerPageTouch is the per-first-touch cost of maintaining the
+	// page sharer set via access bits (amortised: Amit's design pays extra
+	// page-table manipulation, software-managed epochs and induced TLB
+	// misses around every newly tracked translation).
+	ABISTrackPerPageTouch sim.Time
+	// ABISScanPerPage is the unmap-time cost of reading access bits to
+	// compute the sharer set.
+	ABISScanPerPage sim.Time
+
+	// --- Barrelfish-style message passing ---
+
+	// MsgSendPerTarget is the cost of enqueueing one message.
+	MsgSendPerTarget sim.Time
+	// MsgPollPeriod is how often remote cores poll their channels.
+	MsgPollPeriod sim.Time
+	// MsgHandle is remote dequeue + invalidation bookkeeping.
+	MsgHandle sim.Time
+}
+
+// Default returns the calibrated model for a machine spec. A single set of
+// constants serves both machines; the behavioural differences (Fig 6 vs
+// Fig 7) come from topology (core count, hop distances) and the per-core
+// contention term, with the large machine's slower uncore reflected in a
+// scale factor.
+func Default(spec topo.Spec) Model {
+	m := Model{
+		SyscallEntry:     250,
+		VMAOp:            300,
+		MmapSetupPerPage: 180,
+
+		PTEClearPerPage: 130,
+		PTWalk:          120,
+		FreePerPage:     20,
+
+		TLBHit:             1,
+		InvlpgLocal:        110,
+		TLBFullFlush:       550,
+		FullFlushThreshold: 33,
+
+		IPISendBase:         200,
+		IPISendPerTarget:    [3]sim.Time{150, 290, 900},
+		IPIDeliver:          [3]sim.Time{1100, 2700, 6600},
+		IPIHandlerEntry:     600,
+		IPIAckWrite:         250,
+		IPIHandlerPollution: 1500,
+
+		LATRStateSave:       132,
+		LATRSweepBase:       450,
+		LATRSweepPerEntry:   158,
+		LATRReclaimPerEntry: 260,
+		LATRLazyPerPage:     10,
+
+		ContextSwitch:   1300,
+		SchedTickWork:   500,
+		SchedTickPeriod: sim.Millisecond,
+		SchedQuantum:    6 * sim.Millisecond,
+
+		DRAMLocal:            90,
+		DRAMRemote:           200,
+		PageCopy:             650,
+		PageFaultEntry:       900,
+		MigrationBookkeeping: 2600,
+
+		MunmapContentionPerCore: 85,
+
+		ABISTrackPerPageTouch: 2600,
+		ABISScanPerPage:       130,
+
+		MsgSendPerTarget: 90,
+		MsgPollPeriod:    2 * sim.Microsecond,
+		MsgHandle:        220,
+	}
+	if spec.Sockets > 2 {
+		// The E7-8870v2's bigger uncore and directory coherence slow both
+		// the address-space mutation path and cross-socket transfers.
+		m.MunmapContentionPerCore = 300
+		m.DRAMRemote = 280
+		m.PageCopy = 800
+	}
+	return m
+}
+
+// IPISend returns the initiator-side serialized cost to send one IPI to a
+// destination the given number of hops away.
+func (m *Model) IPISend(hops int) sim.Time { return m.IPISendPerTarget[clampHop(hops)] }
+
+// IPIDeliverLatency returns the wire latency for the given hop count.
+func (m *Model) IPIDeliverLatency(hops int) sim.Time { return m.IPIDeliver[clampHop(hops)] }
+
+// InvalidateCost returns the local cost of invalidating n pages, applying
+// the Linux full-flush heuristic.
+func (m *Model) InvalidateCost(pages int) sim.Time {
+	if pages <= 0 {
+		return 0
+	}
+	if pages > m.FullFlushThreshold {
+		return m.TLBFullFlush
+	}
+	return sim.Time(pages) * m.InvlpgLocal
+}
+
+func clampHop(h int) int {
+	if h < 0 {
+		return 0
+	}
+	if h > 2 {
+		return 2
+	}
+	return h
+}

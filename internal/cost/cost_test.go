@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"testing"
+
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+func TestDefaultAnchorsTable5(t *testing.T) {
+	m := Default(topo.TwoSocket16())
+	// Table 5: saving a LATR state 132.3 ns, one sweep visit 158.0 ns.
+	if m.LATRStateSave < 100 || m.LATRStateSave > 170 {
+		t.Errorf("LATRStateSave = %v, want ~132ns", m.LATRStateSave)
+	}
+	if m.LATRSweepPerEntry < 120 || m.LATRSweepPerEntry > 200 {
+		t.Errorf("LATRSweepPerEntry = %v, want ~158ns", m.LATRSweepPerEntry)
+	}
+}
+
+func TestIPILatencyAnchors(t *testing.T) {
+	m := Default(topo.TwoSocket16())
+	// §1: an IPI takes ~2.7us cross-socket on 2 sockets, ~6.6us two-hop.
+	if got := m.IPIDeliverLatency(1); got != 2700 {
+		t.Errorf("1-hop IPI = %v, want 2.7us", got)
+	}
+	if got := m.IPIDeliverLatency(2); got != 6600 {
+		t.Errorf("2-hop IPI = %v, want 6.6us", got)
+	}
+	if m.IPIDeliverLatency(0) >= m.IPIDeliverLatency(1) {
+		t.Error("same-socket IPI should be cheaper than cross-socket")
+	}
+}
+
+func TestClampHop(t *testing.T) {
+	m := Default(topo.TwoSocket16())
+	if m.IPISend(-1) != m.IPISend(0) {
+		t.Error("negative hops not clamped")
+	}
+	if m.IPISend(9) != m.IPISend(2) {
+		t.Error("large hops not clamped")
+	}
+}
+
+func TestInvalidateCostFullFlush(t *testing.T) {
+	m := Default(topo.TwoSocket16())
+	if got := m.InvalidateCost(0); got != 0 {
+		t.Errorf("InvalidateCost(0) = %v", got)
+	}
+	if got := m.InvalidateCost(1); got != m.InvlpgLocal {
+		t.Errorf("InvalidateCost(1) = %v", got)
+	}
+	at := m.InvalidateCost(m.FullFlushThreshold)
+	if at != sim.Time(m.FullFlushThreshold)*m.InvlpgLocal {
+		t.Errorf("at threshold should still be per-page: %v", at)
+	}
+	over := m.InvalidateCost(m.FullFlushThreshold + 1)
+	if over != m.TLBFullFlush {
+		t.Errorf("over threshold should be a full flush: %v", over)
+	}
+	if over >= at {
+		t.Error("full flush should be cheaper than 34 INVLPGs (that is why Linux does it)")
+	}
+}
+
+func TestLargeNUMAScaling(t *testing.T) {
+	small := Default(topo.TwoSocket16())
+	big := Default(topo.EightSocket120())
+	if big.MunmapContentionPerCore <= small.MunmapContentionPerCore {
+		t.Error("8-socket contention term should exceed 2-socket (Fig 7 calibration)")
+	}
+	if big.DRAMRemote <= small.DRAMRemote {
+		t.Error("8-socket remote DRAM should be slower")
+	}
+}
+
+func TestFig6Arithmetic(t *testing.T) {
+	// Sanity-check the closed-form shootdown cost at 16 cores against the
+	// paper's ~6us (Fig 6): send to 7 same-socket + 8 cross-socket targets,
+	// then wait for the last ACK.
+	spec := topo.TwoSocket16()
+	m := Default(spec)
+	var send sim.Time
+	for c := 1; c < 16; c++ {
+		send += m.IPISend(spec.Hops(0, topo.CoreID(c)))
+	}
+	lastAck := m.IPIDeliverLatency(1) + m.IPIHandlerEntry + m.InvlpgLocal + m.IPIAckWrite
+	total := m.IPISendBase + send + lastAck
+	if total < 4500 || total > 9000 {
+		t.Errorf("16-core shootdown estimate = %v, want ~6us (Fig 6)", total)
+	}
+}

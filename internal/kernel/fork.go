@@ -1,0 +1,201 @@
+package kernel
+
+import (
+	"latr/internal/mem"
+	"latr/internal/pt"
+	"latr/internal/sim"
+)
+
+// Fork and Copy-on-Write — Table 1's "Ownership" row. Both directions are
+// inherently synchronous:
+//
+//   - fork() write-protects the parent's writable mappings, and every
+//     core's TLB must drop the writable entries before either process may
+//     continue (otherwise a cached-writable parent entry bypasses CoW);
+//   - breaking CoW on a write fault rewires the PTE to a private copy, and
+//     the old translation must die system-wide before the write proceeds
+//     (otherwise sibling threads keep reading the stale shared frame).
+//
+// Neither step can use LATR's lazy path, which is exactly why the paper
+// lists CoW under "lazy operation possible: no".
+
+// OpFork creates a child process whose address space shares the parent's
+// frames copy-on-write. The child lands in th.LastProc; spawn threads into
+// it to run code there. Huge mappings are copied eagerly (PMD-level CoW
+// splitting is out of scope); swap-resident pages are not carried over.
+type OpFork struct{}
+
+func (OpFork) isOp() {}
+
+func (c *Core) doFork(th *Thread) {
+	k := c.k
+	m := &k.Cost
+	parent := th.Proc
+	mm := parent.MM
+
+	mm.Sem.AcquireWrite(c, th, func() {
+		child := k.NewProcess()
+		cmm := child.MM
+		cost := m.SyscallEntry + 2*m.VMAOp
+
+		shared := 0
+		for _, v := range mm.Space.VMAs() {
+			// Mirror the VMA layout: the child reserves the same ranges
+			// (its own address space is fresh, so identical addresses are
+			// available; fork semantics need matching VAs).
+			if err := cmm.Space.Insert(v); err != nil {
+				panic(err)
+			}
+			for vpn := v.Start; vpn < v.End; vpn++ {
+				if he, ok := mm.PT.GetHuge(vpn); ok && vpn == pt.HugeBase(vpn) {
+					// Eager copy for huge mappings.
+					npfn, err := k.allocHugeFrame(k.Spec.NodeOf(c.ID))
+					if err != nil {
+						break
+					}
+					if err := cmm.PT.MapHuge(vpn, npfn, he.Writable); err != nil {
+						panic(err)
+					}
+					cost += sim.Time(pt.HugePages) * m.PageCopy / 8
+					vpn += pt.HugePages - 1
+					continue
+				}
+				e, ok := mm.PT.Get(vpn)
+				if !ok || e.NUMAHint {
+					continue
+				}
+				// Share the frame CoW: bump the refcount, map read-only on
+				// both sides.
+				k.Alloc.Get(e.PFN)
+				if err := cmm.PT.Map(vpn, e.PFN, false); err != nil {
+					panic(err)
+				}
+				if e.Writable {
+					mm.PT.SetProtection(vpn, false)
+				}
+				shared++
+				cost += m.PTEClearPerPage
+			}
+		}
+		// The parent's own TLB drops its writable entries now; remote cores
+		// via the synchronous path below.
+		c.TLB.FlushAll()
+		cost += m.TLBFullFlush
+		k.Metrics.Inc("sys.fork", 1)
+		k.Metrics.Inc("fork.cow_shared_pages", uint64(shared))
+
+		c.busy(cost, true, func() {
+			// Ownership change: remote writable entries must be gone before
+			// fork returns (full flush on every participating core).
+			k.policy.SyncChange(c, mm, 0, k.Cost.FullFlushThreshold+1, func() {
+				mm.Sem.ReleaseWrite()
+				th.LastProc = child
+				c.opBoundary()
+			})
+		})
+	})
+}
+
+// breakCoW resolves a write fault on a read-only page whose VMA is
+// writable: a genuine CoW page. Called from handleFault with no locks
+// held; takes mmap_sem shared (the PTE swap itself is page-table-lock
+// granularity, and the old translation is flushed synchronously).
+func (c *Core) breakCoW(th *Thread, vpn pt.VPN, cont func()) {
+	k := c.k
+	m := &k.Cost
+	mm := th.Proc.MM
+	mm.Sem.AcquireRead(c, th, func() {
+		e, ok := mm.PT.Get(vpn)
+		if !ok || e.Writable {
+			// Raced with another CoW break.
+			mm.Sem.ReleaseRead()
+			cont()
+			return
+		}
+		if k.Alloc.Refs(e.PFN) == 1 {
+			// Sole owner already (the other side broke its copy): reuse the
+			// frame, upgrading protection in place. Stale read-only entries
+			// elsewhere stay correct for reads and upgrade on their own
+			// faults.
+			mm.PT.SetProtection(vpn, true)
+			c.TLB.Invalidate(c.pcid(mm), vpn)
+			c.TLB.Insert(c.pcid(mm), vpn, e.PFN, true)
+			k.Metrics.Inc("fault.cow_reuse", 1)
+			c.busy(m.PTEClearPerPage+m.InvlpgLocal, false, func() {
+				mm.Sem.ReleaseRead()
+				cont()
+			})
+			return
+		}
+		// Copy to a private frame and drop our reference on the shared one.
+		npfn, err := k.allocFrame(k.Spec.NodeOf(c.ID))
+		if err != nil {
+			th.LastErr = err
+			th.LastFault++
+			mm.Sem.ReleaseRead()
+			cont()
+			return
+		}
+		old, ok2 := mm.PT.Replace(vpn, npfn)
+		if !ok2 {
+			panic("kernel: CoW page vanished under mmap_sem")
+		}
+		mm.PT.SetProtection(vpn, true)
+		c.TLB.Invalidate(c.pcid(mm), vpn)
+		k.Metrics.Inc("fault.cow_break", 1)
+		c.busy(m.PageCopy+m.PTEClearPerPage, false, func() {
+			// The old shared translation must die system-wide before the
+			// write proceeds (Table 1: sync required).
+			k.policy.SyncChange(c, mm, vpn, 1, func() {
+				k.Alloc.Put(old.PFN)
+				c.TLB.Insert(c.pcid(mm), vpn, npfn, true)
+				mm.Sem.ReleaseRead()
+				cont()
+			})
+		})
+	})
+}
+
+// ReleaseAddressSpace tears down a process's remaining mappings (the
+// exit_mmap analogue), dropping frame references through the coherence
+// policy's free path. Invoke it via OpCall after a forked process's last
+// thread exits; tests use it to verify refcounts drain.
+func (k *Kernel) ReleaseAddressSpace(c *Core, th *Thread, p *Process, done func()) {
+	mm := p.MM
+	mm.Sem.AcquireWrite(c, th, func() {
+		var frames []FrameRef
+		for _, v := range mm.Space.VMAs() {
+			for vpn := v.Start; vpn < v.End; vpn++ {
+				if he, ok := mm.PT.GetHuge(vpn); ok && vpn == pt.HugeBase(vpn) {
+					mm.PT.UnmapHuge(vpn)
+					for j := 0; j < pt.HugePages; j++ {
+						frames = append(frames, FrameRef{VPN: vpn + pt.VPN(j), PFN: he.PFN + mem.PFN(j)})
+					}
+					vpn += pt.HugePages - 1
+					continue
+				}
+				if old, ok := mm.PT.Unmap(vpn); ok {
+					frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN})
+				}
+			}
+			mm.Space.RemoveRange(v.Start, v.End)
+		}
+		c.TLB.FlushAll()
+		// Pages past the full-flush threshold make every policy (IPI
+		// handler or LATR sweep) fully flush the remote TLBs, covering all
+		// of the torn-down ranges with one state/IPI.
+		u := Unmap{MM: mm, Start: 0, Pages: k.Cost.FullFlushThreshold + 1, Frames: frames, KeepVMA: true}
+		k.policy.Munmap(c, u, func() {
+			mm.Sem.ReleaseWrite()
+			k.Metrics.Inc("sys.exit_mmap", 1)
+			done()
+		})
+	})
+}
+
+// vmWritable reports whether the VMA covering vpn permits writes (the CoW
+// discriminator: present + !PTE.Writable + vmWritable = CoW page).
+func vmWritable(mm *MM, vpn pt.VPN) bool {
+	v, ok := mm.Space.Find(vpn)
+	return ok && v.Writable
+}

@@ -1,0 +1,323 @@
+// Package kernel is the simulated operating system: cores with TLBs,
+// per-core run queues with 1 ms scheduler ticks, IPI delivery with
+// interrupt-off windows, an mmap/munmap/madvise/mprotect syscall layer,
+// page-fault handling, and mm_struct/mmap_sem semantics.
+//
+// TLB-coherence mechanisms are pluggable through the Policy interface;
+// the Linux/ABIS/Barrelfish baselines live in internal/shootdown and the
+// paper's contribution in internal/core.
+package kernel
+
+import (
+	"fmt"
+
+	"latr/internal/cost"
+	"latr/internal/mem"
+	"latr/internal/metrics"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/tlb"
+	"latr/internal/topo"
+	"latr/internal/trace"
+	"latr/internal/vm"
+)
+
+// Options tune kernel behaviour.
+type Options struct {
+	// UsePCID preserves TLB entries across context switches under PCID
+	// tags (§4.5). Off by default, as Linux 4.10 elects.
+	UsePCID bool
+	// Tickless disables scheduler ticks on idle cores (§7).
+	Tickless bool
+	// CheckInvariants enables the shadow TLB tracker and asserts the
+	// never-reuse-while-mapped invariant on every frame allocation.
+	CheckInvariants bool
+	// TraceLimit bounds recorded trace events (0 disables tracing).
+	TraceLimit int
+	// Seed feeds all kernel-side randomness.
+	Seed uint64
+}
+
+// Kernel assembles the whole machine.
+type Kernel struct {
+	Spec    topo.Spec
+	Cost    cost.Model
+	Engine  *sim.Engine
+	Cores   []*Core
+	Alloc   *mem.Allocator
+	Tracker *tlb.Tracker
+	Metrics *metrics.Registry
+	Tracer  *trace.Tracer
+	Rand    *sim.Rand
+	Opts    Options
+
+	policy Policy
+
+	procs    []*Process
+	nextPID  int
+	nextTID  int
+	nextPCID tlb.PCID
+
+	numa NUMAHandler
+	swap SwapHandler
+
+	liveThreads int
+}
+
+// New builds a kernel for the given machine with the given coherence
+// policy. The policy may need the kernel; call policy.Attach afterwards if
+// it implements Attacher (NewWithPolicy does this for you).
+func New(spec topo.Spec, model cost.Model, pol Policy, opts Options) *Kernel {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	k := &Kernel{
+		Spec:     spec,
+		Cost:     model,
+		Engine:   sim.NewEngine(),
+		Alloc:    mem.NewAllocator(spec),
+		Metrics:  metrics.NewRegistry(),
+		Rand:     sim.NewRand(opts.Seed ^ 0x1a7b2c3d4e5f6071),
+		Opts:     opts,
+		policy:   pol,
+		nextPCID: 1,
+	}
+	if opts.CheckInvariants {
+		k.Tracker = tlb.NewTracker()
+	}
+	if opts.TraceLimit > 0 {
+		k.Tracer = trace.New(opts.TraceLimit)
+	}
+	for i := 0; i < spec.NumCores(); i++ {
+		k.Cores = append(k.Cores, newCore(k, topo.CoreID(i)))
+	}
+	if a, ok := pol.(Attacher); ok {
+		a.Attach(k)
+	}
+	for _, c := range k.Cores {
+		c.startTicks()
+	}
+	return k
+}
+
+// Policy returns the installed coherence policy.
+func (k *Kernel) Policy() Policy { return k.policy }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.Engine.Now() }
+
+// Run advances the simulation until deadline.
+func (k *Kernel) Run(deadline sim.Time) { k.Engine.RunUntil(deadline) }
+
+// RunIdle advances the simulation until no events remain.
+func (k *Kernel) RunIdle() { k.Engine.Run() }
+
+// MM is the simulated mm_struct: one address space shared by the threads
+// of a process.
+type MM struct {
+	ID    int
+	PCID  tlb.PCID
+	PT    *pt.PageTable
+	Space *vm.Space
+	Sem   *RWSem
+
+	// CPUMask tracks cores currently running (or lazily holding) this mm —
+	// the shootdown target set (§4.1 "State update").
+	CPUMask topo.CoreMask
+
+	// Threads currently alive in this mm.
+	threads int
+}
+
+// Process is a schedulable entity owning an MM.
+type Process struct {
+	PID int
+	MM  *MM
+	k   *Kernel
+}
+
+// NewProcess creates a process with a fresh address space.
+func (k *Kernel) NewProcess() *Process {
+	k.nextPID++
+	mm := &MM{
+		ID:    k.nextPID,
+		PT:    pt.New(),
+		Space: vm.NewSpace(),
+		Sem:   NewRWSem(k),
+	}
+	if k.Opts.UsePCID {
+		mm.PCID = k.nextPCID
+		k.nextPCID++
+	}
+	p := &Process{PID: k.nextPID, MM: mm, k: k}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// ThreadState is a thread's scheduler state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	Ready ThreadState = iota
+	Running
+	Blocked
+	Done
+)
+
+// Thread is one schedulable execution context, pinned to a core.
+type Thread struct {
+	TID     int
+	Proc    *Process
+	Core    topo.CoreID
+	State   ThreadState
+	Program Program
+
+	// Kernel reports the last syscall/touch outcome here for the program.
+	LastErr   error
+	LastAddr  pt.VPN
+	LastFault int      // pages that segfaulted in the last touch op
+	LastProc  *Process // child created by the last OpFork
+
+	// resume continues an in-flight operation after a block; nil when the
+	// thread is at an op boundary.
+	resume func()
+
+	// Bookkeeping for preemption.
+	scheduledAt sim.Time
+	cpuTime     sim.Time
+
+	kernelThread bool
+}
+
+// Spawn creates a thread of p pinned to core, running prog, and makes it
+// runnable immediately.
+func (p *Process) Spawn(core topo.CoreID, prog Program) *Thread {
+	return p.spawn(core, prog, false)
+}
+
+// SpawnKernel creates a kernel thread (exempt from mm accounting).
+func (p *Process) SpawnKernel(core topo.CoreID, prog Program) *Thread {
+	return p.spawn(core, prog, true)
+}
+
+func (p *Process) spawn(core topo.CoreID, prog Program, kernel bool) *Thread {
+	k := p.k
+	if int(core) < 0 || int(core) >= len(k.Cores) {
+		panic(fmt.Sprintf("kernel: spawn on nonexistent core %d", core))
+	}
+	k.nextTID++
+	th := &Thread{
+		TID:          k.nextTID,
+		Proc:         p,
+		Core:         core,
+		State:        Ready,
+		Program:      prog,
+		kernelThread: kernel,
+	}
+	p.MM.threads++
+	k.liveThreads++
+	c := k.Cores[core]
+	c.enqueue(th)
+	return th
+}
+
+// LiveThreads reports threads not yet exited.
+func (k *Kernel) LiveThreads() int { return k.liveThreads }
+
+// Program generates a thread's operations. Next is called at each op
+// boundary; returning nil exits the thread.
+type Program interface {
+	Next(now sim.Time, th *Thread) Op
+}
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc func(now sim.Time, th *Thread) Op
+
+// Next implements Program.
+func (f ProgramFunc) Next(now sim.Time, th *Thread) Op { return f(now, th) }
+
+// Script builds a Program that runs a fixed sequence of op-producing
+// steps, then exits. Each step sees the thread (and thus the previous
+// op's results in the Last* fields).
+func Script(steps ...func(th *Thread) Op) Program {
+	i := 0
+	return ProgramFunc(func(_ sim.Time, th *Thread) Op {
+		if i >= len(steps) {
+			return nil
+		}
+		op := steps[i](th)
+		i++
+		return op
+	})
+}
+
+// Loop builds a Program that calls body repeatedly until it returns nil.
+func Loop(body func(th *Thread) Op) Program {
+	return ProgramFunc(func(_ sim.Time, th *Thread) Op { return body(th) })
+}
+
+// threadExited tears down accounting after a program returns nil.
+func (k *Kernel) threadExited(c *Core, th *Thread) {
+	th.State = Done
+	th.Proc.MM.threads--
+	k.liveThreads--
+}
+
+// allocHugeFrame allocates 512 contiguous frames, checking the reuse
+// invariant on each when the shadow tracker is on.
+func (k *Kernel) allocHugeFrame(node topo.NodeID) (mem.PFN, error) {
+	base, err := k.Alloc.AllocContig(node, pt.HugePages)
+	if err != nil {
+		return 0, err
+	}
+	if k.Tracker != nil {
+		for i := 0; i < pt.HugePages; i++ {
+			if ierr := k.Tracker.AssertUnmapped(base + mem.PFN(i)); ierr != nil {
+				panic(fmt.Sprintf("kernel: TLB-coherence invariant violated: %v", ierr))
+			}
+		}
+	}
+	return base, nil
+}
+
+// allocFrame allocates a frame on node, enforcing the reuse invariant when
+// the shadow tracker is on.
+func (k *Kernel) allocFrame(node topo.NodeID) (mem.PFN, error) {
+	pfn, err := k.Alloc.Alloc(node)
+	if err != nil {
+		return 0, err
+	}
+	if k.Tracker != nil {
+		if ierr := k.Tracker.AssertUnmapped(pfn); ierr != nil {
+			panic(fmt.Sprintf("kernel: TLB-coherence invariant violated: %v", ierr))
+		}
+	}
+	return pfn, nil
+}
+
+// Processes returns every process created so far (including kernel-thread
+// hosts), in creation order.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, len(k.procs))
+	copy(out, k.procs)
+	return out
+}
+
+// AllocFrame allocates a frame on node with the reuse-invariant check,
+// exported for kernel extensions (page migration).
+func (k *Kernel) AllocFrame(node topo.NodeID) (mem.PFN, error) { return k.allocFrame(node) }
+
+// trace records a trace event if tracing is enabled.
+func (k *Kernel) trace(core topo.CoreID, cat, format string, args ...any) {
+	k.Tracer.Record(k.Now(), core, cat, format, args...)
+}
+
+// Trace exposes trace recording to policy and workload packages.
+func (k *Kernel) Trace(core topo.CoreID, cat, format string, args ...any) {
+	k.trace(core, cat, format, args...)
+}
+
+// Wake makes a blocked thread runnable (exported for kernel extensions
+// such as the AutoNUMA fault gate).
+func (k *Kernel) Wake(th *Thread) { k.wake(th) }

@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"latr/internal/mem"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// FrameRef pairs a virtual page with the frame that backed it, handed to
+// the policy when pages are unmapped so the policy controls *when* the
+// frame becomes reusable (immediately after a synchronous shootdown, or
+// after the lazy-reclamation delay).
+type FrameRef struct {
+	VPN pt.VPN
+	PFN mem.PFN
+}
+
+// Unmap describes one address-range unmap needing TLB coherence.
+type Unmap struct {
+	MM     *MM
+	Start  pt.VPN
+	Pages  int
+	Frames []FrameRef
+	// KeepVMA is true for madvise-style frees: the VA range stays reserved
+	// (no Space release), only the pages go away.
+	KeepVMA bool
+	// ForceSync requests synchronous completion even from lazy policies
+	// (the per-call opt-out §7 proposes for fault-on-free applications).
+	ForceSync bool
+}
+
+// Policy is a TLB-coherence mechanism. All entry points run inside the
+// event loop on the initiating core c; completion is signalled by calling
+// done, possibly at a later virtual time. Policies are responsible for:
+//
+//   - invalidating remote TLB entries for the unmapped range,
+//   - releasing the frames (k.ReleaseFrames) once safe,
+//   - releasing the VA range (k.ReleaseVA) once safe (unless KeepVMA).
+//
+// The kernel has already removed the VMAs, cleared the PTEs and invalidated
+// the initiating core's own TLB before calling Munmap.
+type Policy interface {
+	Name() string
+
+	// Munmap provides coherence for a free operation (munmap/madvise).
+	Munmap(c *Core, u Unmap, done func())
+
+	// SyncChange provides coherence for operations that must apply
+	// synchronously system-wide (mprotect, CoW, mremap — Table 1): every
+	// policy must block until remote TLBs are clean.
+	SyncChange(c *Core, mm *MM, start pt.VPN, pages int, done func())
+
+	// NUMAUnmap performs the AutoNUMA sampling unmap of a page range: mark
+	// the PTEs with the NUMA hint and make all cores' TLBs coherent
+	// (change_prot_numa batches whole ranges under one flush). done runs
+	// when the *initiating task* may continue (for lazy policies that is
+	// immediately; the hint faults may only fire later).
+	NUMAUnmap(c *Core, mm *MM, start pt.VPN, pages int, done func())
+
+	// OnTick and OnContextSwitch are periodic hooks running on core c;
+	// they return the CPU time consumed (e.g. the LATR state sweep).
+	OnTick(c *Core) sim.Time
+	OnContextSwitch(c *Core) sim.Time
+
+	// OnPageTouch observes a TLB fill on core c (ABIS sharer tracking);
+	// returns added cost.
+	OnPageTouch(c *Core, mm *MM, vpn pt.VPN) sim.Time
+}
+
+// Attacher is implemented by policies that need the kernel reference.
+type Attacher interface {
+	Attach(k *Kernel)
+}
+
+// ReleaseFrames drops the policy's reference on unmapped frames, making
+// them reusable. Under invariant checking this is the moment the shadow
+// tracker must show no residual TLB entries if the frame refcount reaches
+// zero and gets reallocated.
+func (k *Kernel) ReleaseFrames(frames []FrameRef) {
+	for _, f := range frames {
+		k.Alloc.Put(f.PFN)
+	}
+}
+
+// ReleaseVA returns an unmapped VA range to the address-space allocator
+// for immediate reuse (synchronous policies).
+func (k *Kernel) ReleaseVA(mm *MM, start pt.VPN, pages int) {
+	mm.Space.Release(start, pages)
+}
+
+// ShootdownTargets computes the remote cores that must participate in a
+// shootdown for mm from core self: every core in mm_cpumask except the
+// initiator, minus idle lazy-TLB cores, which are marked to fully flush
+// before they next run a thread (Linux's lazy TLB invalidation — §2.3).
+func (k *Kernel) ShootdownTargets(self *Core, mm *MM) []*Core {
+	var targets []*Core
+	mm.CPUMask.ForEach(func(id topo.CoreID) {
+		c := k.Cores[id]
+		if c == self {
+			return
+		}
+		if c.idle() && c.lazyTLB {
+			// Linux lazy-TLB skip (§2.3): the idle core is excluded from
+			// the IPI set and fully flushes before it next runs a thread.
+			// Its cached entries are dead from this moment — the model
+			// drops them now (keeping the reuse-invariant checker exact)
+			// and charges the flush cost at wake via deferredFlush.
+			c.deferredFlush = true
+			c.flushAllTLB()
+			k.Metrics.Inc("shootdown.lazy_skipped", 1)
+			return
+		}
+		targets = append(targets, c)
+	})
+	return targets
+}
+
+// SendShootdownIPIs implements the synchronous IPI protocol used by the
+// Linux baseline, by ABIS (with a narrower target set) and by LATR's
+// fallback path: serialized APIC sends, remote handler invalidations, and
+// a spin-wait for all ACKs. done fires when the last ACK lands. It returns
+// the virtual time at which the send phase completes (the initiator is
+// busy until then, and then spins).
+//
+// pages==0 requests a full flush on the targets.
+func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, targets []*Core, done func()) {
+	m := &k.Cost
+	if len(targets) == 0 {
+		// Still accounts the fixed setup cost.
+		c.busy(m.IPISendBase, false, done)
+		return
+	}
+	k.Metrics.Inc("shootdown.ipi", 1)
+	k.Metrics.Inc("shootdown.ipi_targets", uint64(len(targets)))
+
+	sendCost := m.IPISendBase
+	type delivery struct {
+		core *Core
+		at   sim.Time
+	}
+	var deliveries []delivery
+	for _, t := range targets {
+		hops := k.Spec.Hops(c.ID, t.ID)
+		sendCost += m.IPISend(hops)
+		deliveries = append(deliveries, delivery{t, k.Now() + sendCost + m.IPIDeliverLatency(hops)})
+	}
+
+	// Table 5's "single TLB shootdown in Linux" is the initiator-side work
+	// (flush-info setup + serialized APIC sends), excluding the ACK wait.
+	k.Metrics.Observe("shootdown.initiator_work", sendCost)
+
+	pending := len(targets)
+	spinStart := sim.Time(0)
+	ackDone := func(now sim.Time) {
+		pending--
+		if pending == 0 {
+			wait := now - spinStart
+			if wait > 0 {
+				k.Metrics.Observe("shootdown.ack_wait", wait)
+			}
+			c.endSpin(done)
+		}
+	}
+
+	// The initiator is busy during the serialized sends, then spins until
+	// the last ACK (interruptible: it still services incoming IPIs).
+	c.busy(sendCost, false, func() {
+		spinStart = k.Now()
+		c.beginSpin()
+		for _, d := range deliveries {
+			d := d
+			at := d.at
+			if at < k.Now() {
+				at = k.Now()
+			}
+			k.Engine.At(at, func(sim.Time) {
+				k.deliverShootdownIPI(d.core, mm, start, pages, ackDone)
+			})
+		}
+	})
+	k.trace(c.ID, "ipi", "shootdown sent to %d cores (%d pages)", len(targets), pages)
+}
+
+// deliverShootdownIPI runs (or queues, if interrupts are off) the remote
+// invalidation handler on target core t.
+func (k *Kernel) deliverShootdownIPI(t *Core, mm *MM, start pt.VPN, pages int, ack func(now sim.Time)) {
+	m := &k.Cost
+	handler := func(now sim.Time) sim.Time {
+		var inval sim.Time
+		if pages <= 0 || pages > m.FullFlushThreshold {
+			t.TLB.FlushAll()
+			inval = m.TLBFullFlush
+		} else {
+			t.TLB.InvalidateRange(t.pcid(mm), start, start+pt.VPN(pages))
+			inval = sim.Time(pages) * m.InvlpgLocal
+		}
+		if !k.Opts.UsePCID && t.curMM != mm {
+			// leave_mm: the core is running another address space, so its
+			// switch-time flush already killed mm's entries; drop the
+			// stale cpumask bit so future shootdowns skip this core.
+			mm.CPUMask.Clear(t.ID)
+			delete(t.maskedMMs, mm)
+			k.Metrics.Inc("ipi.leave_mm", 1)
+		}
+		total := m.IPIHandlerEntry + inval + m.IPIAckWrite
+		k.Metrics.Inc("ipi.handled", 1)
+		k.Metrics.Observe("ipi.handler", total)
+		k.trace(t.ID, "ipi", "handler: invalidate %d pages + ACK (%v)", pages, total)
+		k.Engine.At(now+total, func(n sim.Time) { ack(n) })
+		return total + m.IPIHandlerPollution
+	}
+	t.interrupt(handler)
+}

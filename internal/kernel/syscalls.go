@@ -1,0 +1,278 @@
+package kernel
+
+import (
+	"errors"
+
+	"latr/internal/mem"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+	"latr/internal/vm"
+)
+
+// Syscall errors surfaced to programs via th.LastErr.
+var (
+	ErrNoMemory = errors.New("kernel: out of physical memory")
+	ErrNoVMA    = errors.New("kernel: address range not mapped")
+	ErrBadArg   = errors.New("kernel: invalid syscall argument")
+)
+
+func (c *Core) doMmap(th *Thread, o OpMmap) {
+	k := c.k
+	m := &k.Cost
+	mm := th.Proc.MM
+	if o.Pages <= 0 {
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
+	if o.Huge && (o.Pages%pt.HugePages != 0 || !o.Populate) {
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
+	mm.Sem.AcquireWrite(c, th, func() {
+		var start pt.VPN
+		var err error
+		if o.Huge {
+			start, err = mm.Space.ReserveAligned(o.Pages, pt.HugePages)
+		} else {
+			start, err = mm.Space.Reserve(o.Pages)
+		}
+		if err != nil {
+			mm.Sem.ReleaseWrite()
+			c.failSyscall(th, err)
+			return
+		}
+		if err := mm.Space.Insert(vm.VMA{Start: start, End: start + pt.VPN(o.Pages), Writable: o.Writable, Kind: o.Kind}); err != nil {
+			panic(err) // Reserve handed out an overlapping range: internal bug
+		}
+		cost := m.SyscallEntry + m.VMAOp
+		node := k.Spec.NodeOf(c.ID)
+		if o.Node >= 0 {
+			node = topo.NodeID(o.Node)
+		}
+		switch {
+		case o.Huge:
+			for i := 0; i < o.Pages/pt.HugePages; i++ {
+				base := start + pt.VPN(i*pt.HugePages)
+				pfn, err := k.allocHugeFrame(node)
+				if err != nil {
+					mm.Sem.ReleaseWrite()
+					c.failSyscall(th, err)
+					return
+				}
+				if err := mm.PT.MapHuge(base, pfn, o.Writable); err != nil {
+					panic(err)
+				}
+			}
+			// Wiring one 2 MB mapping costs roughly one PMD entry plus the
+			// (cheap, contiguous) frame clear amortisation.
+			cost += sim.Time(o.Pages/pt.HugePages) * 8 * m.MmapSetupPerPage
+			k.Metrics.Inc("sys.mmap_huge", 1)
+		case o.Populate:
+			for i := 0; i < o.Pages; i++ {
+				pfn, err := k.allocFrame(node)
+				if err != nil {
+					mm.Sem.ReleaseWrite()
+					c.failSyscall(th, err)
+					return
+				}
+				if err := mm.PT.Map(start+pt.VPN(i), pfn, o.Writable); err != nil {
+					panic(err)
+				}
+			}
+			cost += sim.Time(o.Pages) * m.MmapSetupPerPage
+		}
+		c.busy(cost, false, func() {
+			mm.Sem.ReleaseWrite()
+			th.LastAddr = start
+			k.Metrics.Inc("sys.mmap", 1)
+			c.opBoundary()
+		})
+	})
+}
+
+// doMunmap implements munmap (keepVMA=false) and madvise-style frees
+// (keepVMA=true). The flow mirrors Fig 2: clear PTEs, invalidate the local
+// TLB, then hand remote coherence and memory release to the policy.
+func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync bool) {
+	k := c.k
+	m := &k.Cost
+	mm := th.Proc.MM
+	if pages <= 0 {
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
+	t0 := k.Now()
+	mm.Sem.AcquireWrite(c, th, func() {
+		if !keepVMA {
+			removed := mm.Space.RemoveRange(addr, addr+pt.VPN(pages))
+			if len(removed) == 0 {
+				mm.Sem.ReleaseWrite()
+				c.failSyscall(th, ErrNoVMA)
+				return
+			}
+		}
+		var frames []FrameRef
+		hugeEntries := 0
+		for i := 0; i < pages; i++ {
+			vpn := addr + pt.VPN(i)
+			if vpn == pt.HugeBase(vpn) {
+				if he, ok := mm.PT.GetHuge(vpn); ok {
+					if i+pt.HugePages > pages {
+						// Partial unmap of a huge mapping: splitting is not
+						// modelled (real THP would split the PMD first).
+						mm.Sem.ReleaseWrite()
+						c.failSyscall(th, ErrBadArg)
+						return
+					}
+					mm.PT.UnmapHuge(vpn)
+					hugeEntries++
+					for j := 0; j < pt.HugePages; j++ {
+						frames = append(frames, FrameRef{VPN: vpn + pt.VPN(j), PFN: he.PFN + mem.PFN(j)})
+					}
+					i += pt.HugePages - 1
+					continue
+				}
+			}
+			if old, ok := mm.PT.Unmap(vpn); ok {
+				frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN})
+			}
+		}
+		// A huge mapping clears one PMD entry, not 512 PTEs.
+		pteEntries := pages - hugeEntries*(pt.HugePages-1)
+		// Local invalidation, mirroring the remote rule: full flush past
+		// the 33-page threshold.
+		pcid := c.pcid(mm)
+		if pages > m.FullFlushThreshold {
+			c.TLB.FlushAll()
+		} else {
+			c.TLB.InvalidateRange(pcid, addr, addr+pt.VPN(pages))
+		}
+		cost := m.SyscallEntry + m.VMAOp +
+			sim.Time(pteEntries)*m.PTEClearPerPage +
+			m.InvalidateCost(pteEntries) +
+			sim.Time(mm.CPUMask.Count())*m.MunmapContentionPerCore
+		// The PTE/TLB phase runs with the page-table lock held and
+		// interrupts off; incoming shootdown IPIs queue behind it.
+		c.busy(cost, true, func() {
+			t1 := k.Now()
+			u := Unmap{MM: mm, Start: addr, Pages: pages, Frames: frames, KeepVMA: keepVMA, ForceSync: forceSync}
+			k.trace(c.ID, "munmap", "clear PTE + local inval [%#x,+%d)", uint64(addr.Addr()), pages)
+			k.policy.Munmap(c, u, func() {
+				t2 := k.Now()
+				mm.Sem.ReleaseWrite()
+				th.LastAddr = addr
+				if keepVMA {
+					k.Metrics.Inc("sys.madvise", 1)
+				} else {
+					k.Metrics.Inc("sys.munmap", 1)
+				}
+				k.Metrics.Observe("munmap.latency", t2-t0)
+				k.Metrics.Observe("munmap.shootdown", t2-t1)
+				c.opBoundary()
+			})
+		})
+	})
+}
+
+func (c *Core) doMprotect(th *Thread, o OpMprotect) {
+	k := c.k
+	m := &k.Cost
+	mm := th.Proc.MM
+	if o.Pages <= 0 {
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
+	t0 := k.Now()
+	mm.Sem.AcquireWrite(c, th, func() {
+		// Update the VMA flags (splitting straddlers), as mprotect does —
+		// the VMA writability is what distinguishes a CoW page from a
+		// genuinely write-protected one.
+		for _, piece := range mm.Space.RemoveRange(o.Addr, o.Addr+pt.VPN(o.Pages)) {
+			piece.Writable = o.Writable
+			if err := mm.Space.Insert(piece); err != nil {
+				panic(err)
+			}
+		}
+		changed := 0
+		for i := 0; i < o.Pages; i++ {
+			if mm.PT.SetProtection(o.Addr+pt.VPN(i), o.Writable) {
+				changed++
+			}
+		}
+		pcid := c.pcid(mm)
+		if o.Pages > m.FullFlushThreshold {
+			c.TLB.FlushAll()
+		} else {
+			c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
+		}
+		cost := m.SyscallEntry + m.VMAOp + sim.Time(o.Pages)*m.PTEClearPerPage + m.InvalidateCost(o.Pages)
+		c.busy(cost, true, func() {
+			// Permission changes must reach the whole system before the
+			// call returns — no lazy option (Table 1).
+			k.policy.SyncChange(c, mm, o.Addr, o.Pages, func() {
+				mm.Sem.ReleaseWrite()
+				k.Metrics.Inc("sys.mprotect", 1)
+				k.Metrics.Observe("mprotect.latency", k.Now()-t0)
+				c.opBoundary()
+			})
+		})
+	})
+}
+
+func (c *Core) doMremap(th *Thread, o OpMremap) {
+	k := c.k
+	m := &k.Cost
+	mm := th.Proc.MM
+	if o.Pages <= 0 {
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
+	mm.Sem.AcquireWrite(c, th, func() {
+		removed := mm.Space.RemoveRange(o.Addr, o.Addr+pt.VPN(o.Pages))
+		if len(removed) == 0 {
+			mm.Sem.ReleaseWrite()
+			c.failSyscall(th, ErrNoVMA)
+			return
+		}
+		newStart, err := mm.Space.Reserve(o.Pages)
+		if err != nil {
+			mm.Sem.ReleaseWrite()
+			c.failSyscall(th, err)
+			return
+		}
+		writable := removed[0].Writable
+		if err := mm.Space.Insert(vm.VMA{Start: newStart, End: newStart + pt.VPN(o.Pages), Writable: writable, Kind: removed[0].Kind}); err != nil {
+			panic(err)
+		}
+		moved := 0
+		for i := 0; i < o.Pages; i++ {
+			if old, ok := mm.PT.Unmap(o.Addr + pt.VPN(i)); ok {
+				if err := mm.PT.Map(newStart+pt.VPN(i), old.PFN, old.Writable); err != nil {
+					panic(err)
+				}
+				moved++
+			}
+		}
+		pcid := c.pcid(mm)
+		c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
+		cost := m.SyscallEntry + 2*m.VMAOp + sim.Time(moved)*(m.PTEClearPerPage+m.MmapSetupPerPage) + m.InvalidateCost(o.Pages)
+		c.busy(cost, true, func() {
+			// The old translation must die system-wide before the call
+			// returns: remap is synchronous under every policy (Table 1).
+			k.policy.SyncChange(c, mm, o.Addr, o.Pages, func() {
+				k.ReleaseVA(mm, o.Addr, o.Pages)
+				mm.Sem.ReleaseWrite()
+				th.LastAddr = newStart
+				k.Metrics.Inc("sys.mremap", 1)
+				c.opBoundary()
+			})
+		})
+	})
+}
+
+// failSyscall records the error and completes the op with a nominal cost.
+func (c *Core) failSyscall(th *Thread, err error) {
+	th.LastErr = err
+	c.busy(c.k.Cost.SyscallEntry, false, c.opBoundary)
+}

@@ -1,0 +1,253 @@
+// Package metrics provides the counters, gauges and latency histograms the
+// experiments report. Histograms are log-bucketed so millions of samples
+// cost constant memory while percentiles stay within ~3% relative error.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"latr/internal/sim"
+)
+
+// Histogram accumulates latency samples in log2 buckets with 16 linear
+// sub-buckets each, covering 1 ns to ~18 s.
+type Histogram struct {
+	count   uint64
+	sum     float64
+	min     sim.Time
+	max     sim.Time
+	buckets [64 * subBuckets]uint64
+}
+
+const subBuckets = 16
+
+func bucketOf(v sim.Time) int {
+	if v < 0 {
+		v = 0
+	}
+	// Values below 16 get exact buckets (indexes 0..15); larger values use
+	// exp*16+sub with exp >= 4, so idx >= 64 and the ranges cannot collide.
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	sub := int((uint64(v) >> (uint(exp) - 4)) & (subBuckets - 1))
+	idx := exp*subBuckets + sub
+	if idx >= len((&Histogram{}).buckets) {
+		idx = len((&Histogram{}).buckets) - 1
+	}
+	return idx
+}
+
+func bucketMid(idx int) sim.Time {
+	if idx < subBuckets {
+		return sim.Time(idx)
+	}
+	exp := idx / subBuckets
+	sub := idx % subBuckets
+	base := uint64(1) << uint(exp)
+	width := base / subBuckets
+	return sim.Time(base + uint64(sub)*width + width/2)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v sim.Time) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += float64(v)
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.count))
+}
+
+// Min and Max return the extreme observed samples.
+func (h *Histogram) Min() sim.Time { return h.min }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) from the bucketed data.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return bucketMid(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds all of o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+type Registry struct {
+	counters map[string]*uint64
+	gauges   map[string]*int64
+	peaks    map[string]*int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*uint64{},
+		gauges:   map[string]*int64{},
+		peaks:    map[string]*int64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta uint64) {
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(uint64)
+		r.counters[name] = c
+	}
+	*c += delta
+}
+
+// Counter returns the named counter's value (0 if never written).
+func (r *Registry) Counter(name string) uint64 {
+	if c, ok := r.counters[name]; ok {
+		return *c
+	}
+	return 0
+}
+
+// GaugeAdd moves the named gauge by delta, tracking its peak.
+func (r *Registry) GaugeAdd(name string, delta int64) {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(int64)
+		r.gauges[name] = g
+		r.peaks[name] = new(int64)
+	}
+	*g += delta
+	if p := r.peaks[name]; *g > *p {
+		*p = *g
+	}
+}
+
+// Gauge returns the named gauge's current value.
+func (r *Registry) Gauge(name string) int64 {
+	if g, ok := r.gauges[name]; ok {
+		return *g
+	}
+	return 0
+}
+
+// GaugePeak returns the named gauge's high-water mark.
+func (r *Registry) GaugePeak(name string) int64 {
+	if p, ok := r.peaks[name]; ok {
+		return *p
+	}
+	return 0
+}
+
+// Observe records a sample into the named histogram.
+func (r *Registry) Observe(name string, v sim.Time) {
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Hist returns the named histogram (an empty one if never written).
+func (r *Registry) Hist(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	return &Histogram{}
+}
+
+// Names returns all metric names, sorted, for report rendering.
+func (r *Registry) Names() []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range r.counters {
+		add(n)
+	}
+	for n := range r.gauges {
+		add(n)
+	}
+	for n := range r.hists {
+		add(n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders all metrics, one per line.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	for _, n := range r.Names() {
+		if c, ok := r.counters[n]; ok {
+			fmt.Fprintf(&b, "%-40s %d\n", n, *c)
+		}
+		if g, ok := r.gauges[n]; ok {
+			fmt.Fprintf(&b, "%-40s cur=%d peak=%d\n", n, *g, *r.peaks[n])
+		}
+		if h, ok := r.hists[n]; ok {
+			fmt.Fprintf(&b, "%-40s %s\n", n, h)
+		}
+	}
+	return b.String()
+}

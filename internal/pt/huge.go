@@ -1,0 +1,85 @@
+package pt
+
+import (
+	"fmt"
+
+	"latr/internal/mem"
+)
+
+// Huge-page geometry: one 2 MB mapping covers 512 base pages, installed at
+// the PD level of the radix tree. §7 lists transparent-huge-page support
+// as LATR future work; this implements the mapping/TLB side so the
+// coherence policies can be exercised on huge mappings.
+const (
+	HugePages = 512 // base pages per huge page
+)
+
+// HugeBase returns the 2 MB-aligned VPN containing vpn.
+func HugeBase(vpn VPN) VPN { return vpn &^ (HugePages - 1) }
+
+// MapHuge installs a 2 MB mapping at the aligned base VPN, backed by 512
+// physically contiguous frames starting at pfn. Overlap with existing base
+// or huge mappings is an error.
+func (p *PageTable) MapHuge(base VPN, pfn mem.PFN, writable bool) error {
+	if base != HugeBase(base) {
+		return fmt.Errorf("pt: huge mapping at unaligned vpn %#x", uint64(base))
+	}
+	if p.huge == nil {
+		p.huge = make(map[VPN]Entry)
+	}
+	if _, exists := p.huge[base]; exists {
+		return fmt.Errorf("pt: huge page %#x already mapped", uint64(base))
+	}
+	for i := VPN(0); i < HugePages; i++ {
+		if _, ok := p.Get(base + i); ok {
+			return fmt.Errorf("pt: huge mapping overlaps base page %#x", uint64(base+i))
+		}
+	}
+	p.huge[base] = Entry{PFN: pfn, Present: true, Writable: writable}
+	p.mappedHuge++
+	return nil
+}
+
+// UnmapHuge removes the huge mapping at base, returning its entry.
+func (p *PageTable) UnmapHuge(base VPN) (Entry, bool) {
+	e, ok := p.huge[HugeBase(base)]
+	if !ok {
+		return Entry{}, false
+	}
+	delete(p.huge, HugeBase(base))
+	p.mappedHuge--
+	return e, true
+}
+
+// GetHuge returns the huge entry covering vpn, if any.
+func (p *PageTable) GetHuge(vpn VPN) (Entry, bool) {
+	if p.huge == nil {
+		return Entry{}, false
+	}
+	e, ok := p.huge[HugeBase(vpn)]
+	return e, ok
+}
+
+// MappedHuge returns the number of installed huge mappings.
+func (p *PageTable) MappedHuge() int { return p.mappedHuge }
+
+// WalkAny performs a hardware walk that understands both page sizes: it
+// returns the entry, whether it is huge, and whether the access succeeds.
+// For huge hits the returned entry's PFN is the frame backing *vpn itself*
+// (base frame + offset), so callers can do NUMA accounting per page.
+func (p *PageTable) WalkAny(vpn VPN, write bool) (e Entry, huge, ok bool) {
+	if he, isHuge := p.GetHuge(vpn); isHuge {
+		if write && !he.Writable {
+			return he, true, false
+		}
+		he.Accessed = true
+		if write {
+			he.Dirty = true
+		}
+		p.huge[HugeBase(vpn)] = he
+		he.PFN += mem.PFN(vpn - HugeBase(vpn))
+		return he, true, true
+	}
+	e, ok = p.Walk(vpn, write)
+	return e, false, ok
+}

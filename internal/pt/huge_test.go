@@ -1,0 +1,89 @@
+package pt
+
+import "testing"
+
+func TestHugeBase(t *testing.T) {
+	if HugeBase(0) != 0 || HugeBase(511) != 0 || HugeBase(512) != 512 || HugeBase(1023) != 512 {
+		t.Fatal("HugeBase arithmetic wrong")
+	}
+}
+
+func TestMapHugeAlignment(t *testing.T) {
+	p := New()
+	if err := p.MapHuge(100, 0, true); err == nil {
+		t.Fatal("unaligned huge mapping accepted")
+	}
+	if err := p.MapHuge(512, 1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if p.MappedHuge() != 1 {
+		t.Fatalf("MappedHuge = %d", p.MappedHuge())
+	}
+}
+
+func TestHugeOverlapRejected(t *testing.T) {
+	p := New()
+	if err := p.Map(600, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MapHuge(512, 1000, true); err == nil {
+		t.Fatal("huge mapping over an existing base page accepted")
+	}
+	p.Unmap(600)
+	if err := p.MapHuge(512, 1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MapHuge(512, 2000, true); err == nil {
+		t.Fatal("double huge mapping accepted")
+	}
+}
+
+func TestWalkAnyHuge(t *testing.T) {
+	p := New()
+	p.MapHuge(512, 1000, true)
+	// A middle page of the huge mapping resolves with the offset frame.
+	e, huge, ok := p.WalkAny(700, true)
+	if !ok || !huge {
+		t.Fatalf("WalkAny = %+v huge=%v ok=%v", e, huge, ok)
+	}
+	if e.PFN != 1000+(700-512) {
+		t.Fatalf("huge walk PFN = %d", e.PFN)
+	}
+	// A/D bits recorded on the huge entry itself.
+	he, _ := p.GetHuge(700)
+	if !he.Accessed || !he.Dirty {
+		t.Fatalf("huge A/D bits not set: %+v", he)
+	}
+	// Base walk still works for 4K pages.
+	p.Map(2000, 5, true)
+	e, huge, ok = p.WalkAny(2000, false)
+	if !ok || huge || e.PFN != 5 {
+		t.Fatalf("base WalkAny = %+v huge=%v ok=%v", e, huge, ok)
+	}
+}
+
+func TestWalkAnyHugeWriteProtection(t *testing.T) {
+	p := New()
+	p.MapHuge(512, 1000, false)
+	if _, _, ok := p.WalkAny(600, true); ok {
+		t.Fatal("write to read-only huge page should fault")
+	}
+	if _, _, ok := p.WalkAny(600, false); !ok {
+		t.Fatal("read of read-only huge page should succeed")
+	}
+}
+
+func TestUnmapHuge(t *testing.T) {
+	p := New()
+	p.MapHuge(1024, 3000, true)
+	e, ok := p.UnmapHuge(1100) // any covered vpn works
+	if !ok || e.PFN != 3000 {
+		t.Fatalf("UnmapHuge = %+v, %v", e, ok)
+	}
+	if _, _, ok := p.WalkAny(1100, false); ok {
+		t.Fatal("huge walk succeeded after unmap")
+	}
+	if _, ok := p.UnmapHuge(1024); ok {
+		t.Fatal("double UnmapHuge succeeded")
+	}
+}

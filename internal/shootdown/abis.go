@@ -1,0 +1,172 @@
+package shootdown
+
+import (
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// ABIS models Amit's access-based invalidation (USENIX ATC'17, §2.3): page
+// table access bits track which cores actually share each page, so the
+// shootdown IPIs go only to true sharers instead of all of mm_cpumask. The
+// price is the bookkeeping on every TLB fill and the access-bit scan at
+// unmap time — which is why ABIS loses to stock Linux at low core counts
+// in Fig 9 and wins beyond ~8 cores.
+//
+// The shootdown itself remains fully synchronous, which is the gap LATR
+// targets: ABIS reduces *how many* IPIs are sent, not the waiting.
+type ABIS struct {
+	k *kernel.Kernel
+
+	// sharers[mm][vpn] = cores that filled a TLB entry for vpn since the
+	// last shootdown of that page.
+	sharers map[*kernel.MM]map[pt.VPN]*topo.CoreMask
+
+	// unmaps counts Munmap calls; every conservativeEvery-th falls back to
+	// the full cpumask, modelling the cases where access-bit information
+	// is unusable in Amit's design (long-resident TLB entries past the
+	// tracking epoch, shared page tables).
+	unmaps uint64
+}
+
+// conservativeEvery controls how often ABIS distrusts its sharer sets.
+const conservativeEvery = 3
+
+var (
+	_ kernel.Policy   = (*ABIS)(nil)
+	_ kernel.Attacher = (*ABIS)(nil)
+)
+
+// NewABIS returns the ABIS baseline policy.
+func NewABIS() *ABIS {
+	return &ABIS{sharers: make(map[*kernel.MM]map[pt.VPN]*topo.CoreMask)}
+}
+
+// Attach implements kernel.Attacher.
+func (p *ABIS) Attach(k *kernel.Kernel) { p.k = k }
+
+// Name implements kernel.Policy.
+func (p *ABIS) Name() string { return "abis" }
+
+// OnPageTouch implements kernel.Policy: record the sharer. The tracking
+// cost is charged only when the core was not already known (mirroring the
+// access-bit sampling cost structure).
+func (p *ABIS) OnPageTouch(c *kernel.Core, mm *kernel.MM, vpn pt.VPN) sim.Time {
+	perMM := p.sharers[mm]
+	if perMM == nil {
+		perMM = make(map[pt.VPN]*topo.CoreMask)
+		p.sharers[mm] = perMM
+	}
+	mask := perMM[vpn]
+	if mask == nil {
+		mask = &topo.CoreMask{}
+		perMM[vpn] = mask
+	}
+	if mask.Has(c.ID) {
+		return 0
+	}
+	mask.Set(c.ID)
+	p.k.Metrics.Inc("abis.tracked", 1)
+	return p.k.Cost.ABISTrackPerPageTouch
+}
+
+// sharerTargets computes the narrowed target set for [start, start+pages):
+// the union of per-page sharer masks, intersected with live cpumask
+// targets, minus the initiator. Consumed entries are dropped (the
+// shootdown resets the tracking epoch).
+func (p *ABIS) sharerTargets(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int) []*kernel.Core {
+	perMM := p.sharers[mm]
+	var union topo.CoreMask
+	for i := 0; i < pages; i++ {
+		vpn := start + pt.VPN(i)
+		if mask := perMM[vpn]; mask != nil {
+			union = union.Or(*mask)
+			delete(perMM, vpn)
+		}
+	}
+	var out []*kernel.Core
+	for _, t := range p.k.ShootdownTargets(c, mm) {
+		if union.Has(t.ID) {
+			out = append(out, t)
+		}
+	}
+	saved := mm.CPUMask.Count() - 1 - len(out)
+	if saved > 0 {
+		p.k.Metrics.Inc("abis.ipis_saved", uint64(saved))
+	}
+	return out
+}
+
+// Munmap implements kernel.Policy: synchronous shootdown to sharers only.
+func (p *ABIS) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
+	k := p.k
+	scan := sim.Time(u.Pages) * k.Cost.ABISScanPerPage
+	c.Busy(scan, false, func() {
+		p.unmaps++
+		targets := p.sharerTargets(c, u.MM, u.Start, u.Pages)
+		if p.unmaps%conservativeEvery == 0 {
+			targets = k.ShootdownTargets(c, u.MM)
+			k.Metrics.Inc("abis.conservative", 1)
+		}
+		finish := func() {
+			freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+			c.Busy(freeCost, false, func() {
+				k.ReleaseFrames(u.Frames)
+				if !u.KeepVMA {
+					k.ReleaseVA(u.MM, u.Start, u.Pages)
+				}
+				done()
+			})
+		}
+		if len(targets) == 0 {
+			finish()
+			return
+		}
+		k.Metrics.Inc("shootdown.initiated", 1)
+		k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, finish)
+	})
+}
+
+// SyncChange implements kernel.Policy.
+func (p *ABIS) SyncChange(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	scan := sim.Time(pages) * p.k.Cost.ABISScanPerPage
+	c.Busy(scan, false, func() {
+		targets := p.sharerTargets(c, mm, start, pages)
+		if len(targets) == 0 {
+			done()
+			return
+		}
+		p.k.Metrics.Inc("shootdown.initiated", 1)
+		p.k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+	})
+}
+
+// NUMAUnmap implements kernel.Policy: like Linux but with narrowed targets.
+func (p *ABIS) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	k := p.k
+	for i := 0; i < pages; i++ {
+		mm.PT.SetNUMAHint(start+pt.VPN(i), true)
+	}
+	if pages > k.Cost.FullFlushThreshold {
+		c.TLB.FlushAll()
+	} else {
+		c.TLB.InvalidateRange(c.PCIDOf(mm), start, start+pt.VPN(pages))
+	}
+	cost := sim.Time(pages)*(k.Cost.PTEClearPerPage+k.Cost.ABISScanPerPage) + k.Cost.InvalidateCost(pages)
+	c.Busy(cost, true, func() {
+		targets := p.sharerTargets(c, mm, start, pages)
+		if len(targets) == 0 {
+			done()
+			return
+		}
+		k.Metrics.Inc("shootdown.initiated", 1)
+		k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+	})
+}
+
+// OnTick implements kernel.Policy.
+func (p *ABIS) OnTick(*kernel.Core) sim.Time { return 0 }
+
+// OnContextSwitch implements kernel.Policy.
+func (p *ABIS) OnContextSwitch(*kernel.Core) sim.Time { return 0 }

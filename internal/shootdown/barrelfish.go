@@ -1,0 +1,123 @@
+package shootdown
+
+import (
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+)
+
+// Barrelfish models the multikernel's message-passing shootdown (§2.3):
+// instead of IPIs, the initiator enqueues invalidation messages on per-core
+// channels that remote kernels poll; remote cores invalidate without taking
+// an interrupt, and the initiator still waits for every ACK. It removes the
+// interrupt cost but keeps the synchronous wait — the ablation separating
+// LATR's asynchrony from its transport (Table 2).
+type Barrelfish struct {
+	k *kernel.Kernel
+}
+
+var (
+	_ kernel.Policy   = (*Barrelfish)(nil)
+	_ kernel.Attacher = (*Barrelfish)(nil)
+)
+
+// NewBarrelfish returns the message-passing baseline policy.
+func NewBarrelfish() *Barrelfish { return &Barrelfish{} }
+
+// Attach implements kernel.Attacher.
+func (p *Barrelfish) Attach(k *kernel.Kernel) { p.k = k }
+
+// Name implements kernel.Policy.
+func (p *Barrelfish) Name() string { return "barrelfish" }
+
+// shoot performs the message-passing protocol and calls done when all ACKs
+// are in.
+func (p *Barrelfish) shoot(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	k := p.k
+	targets := k.ShootdownTargets(c, mm)
+	if len(targets) == 0 {
+		done()
+		return
+	}
+	k.Metrics.Inc("shootdown.initiated", 1)
+	k.Metrics.Inc("shootdown.msg_targets", uint64(len(targets)))
+
+	m := &k.Cost
+	sendCost := sim.Time(len(targets)) * m.MsgSendPerTarget
+	pending := len(targets)
+	c.Busy(sendCost, false, func() {
+		c.BeginSpin()
+		now := k.Now()
+		for i, t := range targets {
+			t := t
+			// The remote core notices the message at its next poll point;
+			// polls are phase-shifted per core.
+			phase := m.MsgPollPeriod * sim.Time(int(t.ID)+1) / sim.Time(k.Spec.NumCores()+1)
+			wait := m.MsgPollPeriod - ((now+sim.Time(i)-phase)%m.MsgPollPeriod+m.MsgPollPeriod)%m.MsgPollPeriod
+			handleAt := now + wait
+			k.Engine.At(handleAt, func(sim.Time) {
+				var inval sim.Time
+				if pages <= 0 || pages > m.FullFlushThreshold {
+					t.TLB.FlushAll()
+					inval = m.TLBFullFlush
+				} else {
+					t.TLB.InvalidateRange(t.PCIDOf(mm), start, start+pt.VPN(pages))
+					inval = sim.Time(pages) * m.InvlpgLocal
+				}
+				cost := m.MsgHandle + inval
+				t.Inject(cost)
+				k.Metrics.Inc("msg.handled", 1)
+				k.Engine.After(cost, func(sim.Time) {
+					pending--
+					if pending == 0 {
+						c.EndSpin(done)
+					}
+				})
+			})
+		}
+	})
+}
+
+// Munmap implements kernel.Policy.
+func (p *Barrelfish) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
+	k := p.k
+	p.shoot(c, u.MM, u.Start, u.Pages, func() {
+		freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+		c.Busy(freeCost, false, func() {
+			k.ReleaseFrames(u.Frames)
+			if !u.KeepVMA {
+				k.ReleaseVA(u.MM, u.Start, u.Pages)
+			}
+			done()
+		})
+	})
+}
+
+// SyncChange implements kernel.Policy.
+func (p *Barrelfish) SyncChange(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	p.shoot(c, mm, start, pages, done)
+}
+
+// NUMAUnmap implements kernel.Policy.
+func (p *Barrelfish) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	for i := 0; i < pages; i++ {
+		mm.PT.SetNUMAHint(start+pt.VPN(i), true)
+	}
+	if pages > p.k.Cost.FullFlushThreshold {
+		c.TLB.FlushAll()
+	} else {
+		c.TLB.InvalidateRange(c.PCIDOf(mm), start, start+pt.VPN(pages))
+	}
+	c.Busy(sim.Time(pages)*p.k.Cost.PTEClearPerPage+p.k.Cost.InvalidateCost(pages), true, func() {
+		p.shoot(c, mm, start, pages, done)
+	})
+}
+
+// OnTick implements kernel.Policy.
+func (p *Barrelfish) OnTick(*kernel.Core) sim.Time { return 0 }
+
+// OnContextSwitch implements kernel.Policy.
+func (p *Barrelfish) OnContextSwitch(*kernel.Core) sim.Time { return 0 }
+
+// OnPageTouch implements kernel.Policy.
+func (p *Barrelfish) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }

@@ -1,0 +1,103 @@
+// Package shootdown implements the baseline TLB-coherence policies the
+// paper compares against: Linux 4.10's synchronous IPI shootdown, ABIS's
+// access-bit sharer tracking (Amit, USENIX ATC'17), and a Barrelfish-style
+// message-passing transport. The paper's contribution, LATR, lives in
+// internal/core.
+package shootdown
+
+import (
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+)
+
+// Linux is the stock Linux 4.10 mechanism (§2.1): the munmap path clears
+// PTEs, invalidates the local TLB, sends batched IPIs to every core in
+// mm_cpumask, and spins until all cores ACK; remote cores invalidate in
+// their interrupt handlers. Idle cores in lazy-TLB mode are skipped and
+// flush on wake (§2.3).
+type Linux struct {
+	k *kernel.Kernel
+}
+
+var (
+	_ kernel.Policy   = (*Linux)(nil)
+	_ kernel.Attacher = (*Linux)(nil)
+)
+
+// NewLinux returns the Linux baseline policy.
+func NewLinux() *Linux { return &Linux{} }
+
+// Attach implements kernel.Attacher.
+func (p *Linux) Attach(k *kernel.Kernel) { p.k = k }
+
+// Name implements kernel.Policy.
+func (p *Linux) Name() string { return "linux" }
+
+// Munmap implements kernel.Policy: the fully synchronous free path of
+// Fig 2a. Frames and VA are released only after the last ACK.
+func (p *Linux) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
+	k := p.k
+	finish := func() {
+		freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+		c.Busy(freeCost, false, func() {
+			k.ReleaseFrames(u.Frames)
+			if !u.KeepVMA {
+				k.ReleaseVA(u.MM, u.Start, u.Pages)
+			}
+			done()
+		})
+	}
+	targets := k.ShootdownTargets(c, u.MM)
+	if len(targets) == 0 {
+		finish()
+		return
+	}
+	k.Metrics.Inc("shootdown.initiated", 1)
+	k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, finish)
+}
+
+// SyncChange implements kernel.Policy (mprotect/mremap path).
+func (p *Linux) SyncChange(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	targets := p.k.ShootdownTargets(c, mm)
+	if len(targets) == 0 {
+		done()
+		return
+	}
+	p.k.Metrics.Inc("shootdown.initiated", 1)
+	p.k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+}
+
+// NUMAUnmap implements kernel.Policy: Linux's change_prot_numa marks the
+// PTEs and performs an immediate synchronous shootdown (Fig 3a) — the cost
+// paid even when the later faults decide not to migrate.
+func (p *Linux) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	k := p.k
+	for i := 0; i < pages; i++ {
+		mm.PT.SetNUMAHint(start+pt.VPN(i), true)
+	}
+	if pages > k.Cost.FullFlushThreshold {
+		c.TLB.FlushAll()
+	} else {
+		c.TLB.InvalidateRange(c.PCIDOf(mm), start, start+pt.VPN(pages))
+	}
+	cost := sim.Time(pages)*k.Cost.PTEClearPerPage + k.Cost.InvalidateCost(pages)
+	c.Busy(cost, true, func() {
+		targets := k.ShootdownTargets(c, mm)
+		if len(targets) == 0 {
+			done()
+			return
+		}
+		k.Metrics.Inc("shootdown.initiated", 1)
+		k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+	})
+}
+
+// OnTick implements kernel.Policy.
+func (p *Linux) OnTick(*kernel.Core) sim.Time { return 0 }
+
+// OnContextSwitch implements kernel.Policy.
+func (p *Linux) OnContextSwitch(*kernel.Core) sim.Time { return 0 }
+
+// OnPageTouch implements kernel.Policy.
+func (p *Linux) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }

@@ -1,0 +1,127 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random source
+// (splitmix64-seeded xoshiro256**). The standard library's math/rand would
+// also do, but a local implementation keeps the stream stable across Go
+// releases, which matters because test expectations and experiment outputs
+// are derived from it.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from seed via splitmix64.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform Time in [lo, hi].
+func (r *Rand) Duration(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Int63n(int64(hi-lo)+1))
+}
+
+// Exp returns an exponentially distributed Time with the given mean,
+// truncated at 20x the mean to keep event horizons bounded.
+func (r *Rand) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := -float64(mean) * ln(u)
+	max := float64(mean) * 20
+	if d > max {
+		d = max
+	}
+	return Time(d)
+}
+
+// ln is a minimal natural-log implementation (avoids importing math for the
+// one function we need; math is stdlib and fine, but keeping the arithmetic
+// explicit documents the truncation behaviour precisely).
+func ln(x float64) float64 {
+	// Decompose x = m * 2^k with m in [1,2).
+	k := 0
+	for x >= 2 {
+		x /= 2
+		k++
+	}
+	for x < 1 {
+		x *= 2
+		k--
+	}
+	// atanh series: ln(m) = 2*atanh((m-1)/(m+1)).
+	y := (x - 1) / (x + 1)
+	y2 := y * y
+	term := y
+	sum := 0.0
+	for i := 1; i < 60; i += 2 {
+		sum += term / float64(i)
+		term *= y2
+	}
+	const ln2 = 0.6931471805599453
+	return 2*sum + float64(k)*ln2
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

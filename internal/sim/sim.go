@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the machine model is driven by a single Engine: a virtual clock in
+// nanoseconds and a priority queue of events. Events scheduled for the same
+// instant fire in the order they were scheduled, which makes every run fully
+// reproducible. Timers may be cancelled or rescheduled; cancellation is
+// implemented by invalidating the queued entry rather than removing it, so
+// all queue operations stay O(log n).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. The callback runs exactly once unless the
+// event is cancelled first.
+type Event struct {
+	when  Time
+	seq   uint64
+	index int // heap index, -1 once popped
+	fn    func(now Time)
+	dead  bool
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Engine is the event loop. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Stats
+	dispatched uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Dispatched reports how many events have fired so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// now) panics: it always indicates a modelling bug, and silently clamping
+// would hide it.
+func (e *Engine) At(t Time, fn func(now Time)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func(now Time)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel invalidates a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op; Cancel reports whether the event was
+// still pending.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.dead || ev.index < 0 {
+		return false
+	}
+	ev.dead = true
+	return true
+}
+
+// Reschedule moves a pending event to a new absolute time, returning the
+// live event (the original is cancelled). If ev already fired, a fresh
+// event is scheduled anyway: callers use this for "extend the deadline"
+// patterns where the deadline must end up at t regardless.
+func (e *Engine) Reschedule(ev *Event, t Time) *Event {
+	fn := ev.fn
+	e.Cancel(ev)
+	return e.At(t, fn)
+}
+
+// Step dispatches the single next event. It reports false when the queue is
+// empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	for {
+		if e.stopped || e.queue.Len() == 0 {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.when
+		e.dispatched++
+		ev.fn(e.now)
+		return true
+	}
+}
+
+// Run dispatches events until the queue drains or the engine is stopped.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ deadline, then sets the clock to
+// the deadline (if it is ahead) and returns. Events scheduled beyond the
+// deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		if e.stopped || e.queue.Len() == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.when > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+}
+
+// Stop halts the engine: Run/RunUntil/Step return immediately afterwards.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventHeap orders events by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func(Time) { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.At(10, func(now Time) { at = now })
+	e.Reschedule(ev, 25)
+	e.Run()
+	if at != 25 {
+		t.Fatalf("rescheduled event fired at %v, want 25", at)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, tt := range []Time{5, 15, 25} {
+		tt := tt
+		e.At(tt, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(20) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock after RunUntil = %v, want 20", e.Now())
+	}
+	e.RunUntil(30)
+	if len(fired) != 3 {
+		t.Fatalf("second RunUntil fired %d total, want 3", len(fired))
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(now Time)
+	tick = func(now Time) {
+		count++
+		if count < 100 {
+			e.After(7, tick)
+		}
+	}
+	e.After(7, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("chained ticks = %d, want 100", count)
+	}
+	if e.Now() != 700 {
+		t.Fatalf("clock = %v, want 700", e.Now())
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func(Time) {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func(Time) { n++; e.Stop() })
+	e.At(2, func(Time) { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("events after Stop fired: n=%d", n)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical values", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(1)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(11)
+	const mean = 1000
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if got < mean*0.95 || got > mean*1.05 {
+		t.Fatalf("Exp mean = %.1f, want within 5%% of %d", got, mean)
+	}
+}
+
+func TestLnAgainstMath(t *testing.T) {
+	for _, x := range []float64{0.001, 0.1, 0.5, 0.9999, 1, 1.5, 2, 10, 12345.678} {
+		got := ln(x)
+		want := math.Log(x)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("ln(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandDurationBounds(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		d := r.Duration(10, 20)
+		if d < 10 || d > 20 {
+			t.Fatalf("Duration out of bounds: %v", d)
+		}
+	}
+	if d := r.Duration(30, 30); d != 30 {
+		t.Fatalf("Duration(30,30) = %v", d)
+	}
+	if d := r.Duration(40, 10); d != 40 {
+		t.Fatalf("Duration with hi<lo should return lo, got %v", d)
+	}
+}

@@ -1,0 +1,295 @@
+// Package swap implements LRU-based page swapping — the second Migration
+// row of Table 1. §3 sketches the lazy variant: "with a least recently
+// used (LRU) based page swapping algorithm, the page table unmap and swap
+// operation can be performed lazily after the last core has invalidated
+// the TLB entry".
+//
+// The swapper is a background kernel thread: when a NUMA node's free
+// memory drops below the low watermark, it scans for cold pages (accessed
+// bit clear since the previous scan — a one-hand clock), writes them to
+// the swap device, and frees their frames *through the coherence policy's
+// free path* — synchronously under Linux, via LATR states and lazy
+// reclamation under LATR. A later touch takes a major fault and swaps the
+// page back in. The kernel's shadow tracker checks the reuse invariant
+// across the whole cycle.
+package swap
+
+import (
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// Config tunes the swapper.
+type Config struct {
+	// LowWatermarkFrames triggers swap-out when a node's free frames drop
+	// below it; the swapper works until HighWatermarkFrames are free.
+	LowWatermarkFrames  int64
+	HighWatermarkFrames int64
+	// ScanPeriod is the interval between pressure checks.
+	ScanPeriod sim.Time
+	// BatchPages caps pages swapped per pass.
+	BatchPages int
+	// WritePerPage / ReadPerPage are device costs (NVMe-class defaults).
+	WritePerPage sim.Time
+	ReadPerPage  sim.Time
+	// Core hosts the swapper thread.
+	Core topo.CoreID
+}
+
+// DefaultConfig returns NVMe-class defaults.
+func DefaultConfig() Config {
+	return Config{
+		LowWatermarkFrames:  256,
+		HighWatermarkFrames: 512,
+		ScanPeriod:          2 * sim.Millisecond,
+		BatchPages:          128,
+		WritePerPage:        8 * sim.Microsecond,
+		ReadPerPage:         10 * sim.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.LowWatermarkFrames == 0 {
+		c.LowWatermarkFrames = d.LowWatermarkFrames
+	}
+	if c.HighWatermarkFrames == 0 {
+		c.HighWatermarkFrames = d.HighWatermarkFrames
+	}
+	if c.ScanPeriod == 0 {
+		c.ScanPeriod = d.ScanPeriod
+	}
+	if c.BatchPages == 0 {
+		c.BatchPages = d.BatchPages
+	}
+	if c.WritePerPage == 0 {
+		c.WritePerPage = d.WritePerPage
+	}
+	if c.ReadPerPage == 0 {
+		c.ReadPerPage = d.ReadPerPage
+	}
+	return c
+}
+
+// Swapper is the kswapd-style daemon plus the swap-in fault hook.
+type Swapper struct {
+	k   *kernel.Kernel
+	cfg Config
+
+	procs []*kernel.Process
+	// swapped[mm][vpn] marks pages resident on the swap device.
+	swapped map[*kernel.MM]map[pt.VPN]bool
+	cursor  map[*kernel.MM]pt.VPN
+}
+
+// New builds a swapper (zero cfg fields take defaults).
+func New(cfg Config) *Swapper {
+	return &Swapper{
+		cfg:     cfg.withDefaults(),
+		swapped: make(map[*kernel.MM]map[pt.VPN]bool),
+		cursor:  make(map[*kernel.MM]pt.VPN),
+	}
+}
+
+// Install starts the swapper thread and hooks swap-in into demand faults.
+func (s *Swapper) Install(k *kernel.Kernel) {
+	s.k = k
+	k.SetSwapHandler(s)
+	host := k.NewProcess()
+	sleep := true
+	host.SpawnKernel(s.cfg.Core, kernel.Loop(func(*kernel.Thread) kernel.Op {
+		if sleep {
+			sleep = false
+			return kernel.OpSleep{D: s.cfg.ScanPeriod}
+		}
+		sleep = true
+		return kernel.OpCall{Fn: s.pass}
+	}))
+}
+
+// Register adds a process to the reclaim scan set (idempotent).
+func (s *Swapper) Register(p *kernel.Process) {
+	for _, q := range s.procs {
+		if q == p {
+			return
+		}
+	}
+	s.procs = append(s.procs, p)
+}
+
+// pressured reports nodes below the low watermark.
+func (s *Swapper) pressured() []topo.NodeID {
+	var out []topo.NodeID
+	for n := 0; n < s.k.Spec.NumNodes(); n++ {
+		node := topo.NodeID(n)
+		free := s.k.Alloc.FramesPerNode() - s.k.Alloc.InUse(node)
+		if free < s.cfg.LowWatermarkFrames {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// pass performs one swap-out pass if any node is under pressure.
+func (s *Swapper) pass(c *kernel.Core, th *kernel.Thread, done func()) {
+	nodes := s.pressured()
+	if len(nodes) == 0 {
+		done()
+		return
+	}
+	under := map[topo.NodeID]bool{}
+	for _, n := range nodes {
+		under[n] = true
+	}
+	s.k.Metrics.Inc("swap.pressure_passes", 1)
+
+	// One-hand clock: pages with the accessed bit set get a second chance
+	// (bit cleared); cold pages are victims.
+	type victim struct {
+		mm  *kernel.MM
+		vpn pt.VPN
+	}
+	var victims []victim
+	budget := s.cfg.BatchPages
+	for _, p := range s.procs {
+		mm := p.MM
+		if budget <= 0 {
+			break
+		}
+		cur := s.cursor[mm]
+		var lastSeen pt.VPN
+		for _, v := range mm.Space.VMAs() {
+			if budget <= 0 {
+				break
+			}
+			for vpn := v.Start; vpn < v.End && budget > 0; vpn++ {
+				if vpn < cur {
+					continue
+				}
+				lastSeen = vpn
+				e, ok := mm.PT.Get(vpn)
+				if !ok || e.NUMAHint {
+					continue
+				}
+				if !under[s.k.Alloc.NodeOf(e.PFN)] {
+					continue
+				}
+				if was, _ := mm.PT.ClearAccessed(vpn); was {
+					continue // second chance
+				}
+				victims = append(victims, victim{mm, vpn})
+				budget--
+			}
+		}
+		if lastSeen == 0 || budget > 0 {
+			s.cursor[mm] = 0
+		} else {
+			s.cursor[mm] = lastSeen + 1
+		}
+	}
+	if len(victims) == 0 {
+		done()
+		return
+	}
+
+	// Swap out each victim: write to the device, then free the frame via
+	// the policy's madvise-style path — under LATR the frame is reclaimed
+	// only after every TLB entry is swept, which is exactly §3's "swap
+	// lazily after the last core has invalidated".
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(victims) {
+			done()
+			return
+		}
+		v := victims[i]
+		c.Busy(s.cfg.WritePerPage, false, func() {
+			v.mm.Sem.AcquireWrite(c, th, func() {
+				e, ok := v.mm.PT.Get(v.vpn)
+				if !ok || e.NUMAHint {
+					v.mm.Sem.ReleaseWrite()
+					next(i + 1)
+					return
+				}
+				old, _ := v.mm.PT.Unmap(v.vpn)
+				c.TLB.Invalidate(c.PCIDOf(v.mm), v.vpn)
+				perMM := s.swapped[v.mm]
+				if perMM == nil {
+					perMM = make(map[pt.VPN]bool)
+					s.swapped[v.mm] = perMM
+				}
+				perMM[v.vpn] = true
+				u := kernel.Unmap{
+					MM:      v.mm,
+					Start:   v.vpn,
+					Pages:   1,
+					Frames:  []kernel.FrameRef{{VPN: v.vpn, PFN: old.PFN}},
+					KeepVMA: true,
+				}
+				s.k.Policy().Munmap(c, u, func() {
+					v.mm.Sem.ReleaseWrite()
+					s.k.Metrics.Inc("swap.out", 1)
+					next(i + 1)
+				})
+			})
+		})
+	}
+	next(0)
+}
+
+// OnSwapFault implements kernel.SwapHandler: a major fault reading the
+// page back from the device. Returns false if vpn is not swap-resident.
+func (s *Swapper) OnSwapFault(c *kernel.Core, th *kernel.Thread, vpn pt.VPN, cont func()) bool {
+	mm := th.Proc.MM
+	perMM := s.swapped[mm]
+	if perMM == nil || !perMM[vpn] {
+		return false
+	}
+	delete(perMM, vpn)
+	k := s.k
+	k.Metrics.Inc("swap.in", 1)
+	c.Busy(s.cfg.ReadPerPage, false, func() {
+		mm.Sem.AcquireRead(c, th, func() {
+			if _, ok := mm.PT.Get(vpn); ok {
+				mm.Sem.ReleaseRead()
+				cont()
+				return
+			}
+			vma, ok := mm.Space.Find(vpn)
+			if !ok {
+				th.LastFault++
+				mm.Sem.ReleaseRead()
+				cont()
+				return
+			}
+			pfn, err := k.AllocFrame(k.Spec.NodeOf(c.ID))
+			if err != nil {
+				th.LastErr = err
+				th.LastFault++
+				mm.Sem.ReleaseRead()
+				cont()
+				return
+			}
+			if err := mm.PT.Map(vpn, pfn, vma.Writable); err != nil {
+				panic(err)
+			}
+			c.TLB.Insert(c.PCIDOf(mm), vpn, pfn, vma.Writable)
+			c.Busy(k.Cost.MmapSetupPerPage, false, func() {
+				mm.Sem.ReleaseRead()
+				cont()
+			})
+		})
+	})
+	return true
+}
+
+// SwappedPages reports pages currently on the device (for tests).
+func (s *Swapper) SwappedPages() int {
+	n := 0
+	for _, per := range s.swapped {
+		n += len(per)
+	}
+	return n
+}

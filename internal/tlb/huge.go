@@ -1,0 +1,101 @@
+package tlb
+
+import (
+	"latr/internal/mem"
+	"latr/internal/pt"
+)
+
+// Huge-page TLB support: real cores keep a separate (small) array for
+// 2 MB translations; this models it as a dedicated fully-associative LRU.
+// One huge entry covers 512 base pages, so a single stale huge entry is
+// 512 pages of incoherence — which is why §7 calls out THP support as an
+// extension requiring care.
+
+// hugeEntries is the per-core 2 MB-translation array size (Haswell-class).
+const hugeEntries = 32
+
+// hugeTrackBit disambiguates huge-entry tracker keys from base-page keys
+// covering the same VPNs.
+const hugeTrackBit pt.VPN = 1 << 50
+
+// LookupHuge consults the huge array for the 2 MB translation covering
+// vpn. The returned line's PFN is the *base* frame of the huge page.
+func (t *TLB) LookupHuge(pcid PCID, vpn pt.VPN) (Line, bool) {
+	if t.huge == nil {
+		return Line{}, false
+	}
+	k := Key{pcid, pt.HugeBase(vpn)}
+	if ln, ok := t.huge.get(k); ok {
+		t.Stats.Hits++
+		return ln, true
+	}
+	return Line{}, false
+}
+
+// InsertHuge caches a 2 MB translation (base VPN → base PFN).
+func (t *TLB) InsertHuge(pcid PCID, base pt.VPN, pfn mem.PFN, writable bool) {
+	if t.huge == nil {
+		t.huge = newLRU(hugeEntries)
+	}
+	t.Stats.Inserts++
+	k := Key{pcid, pt.HugeBase(base)}
+	if old, ok := t.huge.remove(k); ok {
+		t.droppedHuge(old)
+	}
+	if victim, evicted := t.huge.put(Line{Key: k, PFN: pfn, Writable: writable}); evicted {
+		t.droppedHuge(victim)
+	}
+	if t.tracker != nil {
+		for i := pt.VPN(0); i < pt.HugePages; i++ {
+			t.tracker.add(t.core, Key{k.PCID, k.VPN + i + hugeTrackBit}, pfn+mem.PFN(i))
+		}
+	}
+}
+
+func (t *TLB) droppedHuge(ln Line) {
+	if t.tracker == nil {
+		return
+	}
+	for i := pt.VPN(0); i < pt.HugePages; i++ {
+		t.tracker.del(t.core, Key{ln.Key.PCID, ln.Key.VPN + i + hugeTrackBit})
+	}
+}
+
+// invalidateHugeCovering removes the huge translation covering vpn, if
+// cached (INVLPG invalidates any translation for the address).
+func (t *TLB) invalidateHugeCovering(pcid PCID, vpn pt.VPN) bool {
+	if t.huge == nil {
+		return false
+	}
+	if ln, ok := t.huge.remove(Key{pcid, pt.HugeBase(vpn)}); ok {
+		t.droppedHuge(ln)
+		return true
+	}
+	return false
+}
+
+// flushHugeWhere drops huge entries matching pred.
+func (t *TLB) flushHugeWhere(pred func(Line) bool) {
+	if t.huge == nil {
+		return
+	}
+	var victims []Key
+	t.huge.forEach(func(ln Line) {
+		if pred(ln) {
+			victims = append(victims, ln.Key)
+		}
+	})
+	for _, k := range victims {
+		if ln, ok := t.huge.remove(k); ok {
+			t.droppedHuge(ln)
+		}
+	}
+}
+
+// HasHuge reports whether the 2 MB translation covering vpn is cached.
+func (t *TLB) HasHuge(pcid PCID, vpn pt.VPN) bool {
+	if t.huge == nil {
+		return false
+	}
+	return t.huge.contains(Key{pcid, pt.HugeBase(vpn)})
+}

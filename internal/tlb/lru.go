@@ -1,0 +1,112 @@
+package tlb
+
+// lru is a fixed-capacity least-recently-used cache of TLB lines,
+// implemented as a hash map over an intrusive doubly-linked list. Real TLBs
+// are set-associative; fully-associative LRU is the standard simulator
+// simplification and is conservative for the coherence questions this model
+// answers (it never caches *fewer* stale entries than hardware would).
+type lru struct {
+	cap   int
+	items map[Key]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	line       Line
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, items: make(map[Key]*lruNode, capacity)}
+}
+
+func (c *lru) len() int { return len(c.items) }
+
+func (c *lru) contains(k Key) bool {
+	_, ok := c.items[k]
+	return ok
+}
+
+// get returns the line and marks it most recently used.
+func (c *lru) get(k Key) (Line, bool) {
+	n, ok := c.items[k]
+	if !ok {
+		return Line{}, false
+	}
+	c.moveToFront(n)
+	return n.line, true
+}
+
+// put inserts a line, returning the evicted victim if the cache was full.
+// Inserting an existing key updates it in place (no eviction).
+func (c *lru) put(ln Line) (victim Line, evicted bool) {
+	if n, ok := c.items[ln.Key]; ok {
+		n.line = ln
+		c.moveToFront(n)
+		return Line{}, false
+	}
+	if len(c.items) >= c.cap {
+		victim = c.tail.line
+		evicted = true
+		c.unlink(c.tail)
+		delete(c.items, victim.Key)
+	}
+	n := &lruNode{line: ln}
+	c.items[ln.Key] = n
+	c.pushFront(n)
+	return victim, evicted
+}
+
+// remove deletes a key, returning the removed line.
+func (c *lru) remove(k Key) (Line, bool) {
+	n, ok := c.items[k]
+	if !ok {
+		return Line{}, false
+	}
+	c.unlink(n)
+	delete(c.items, k)
+	return n.line, true
+}
+
+// forEach visits every line, most recent first. The callback must not
+// mutate the cache.
+func (c *lru) forEach(fn func(Line)) {
+	for n := c.head; n != nil; n = n.next {
+		fn(n.line)
+	}
+}
+
+func (c *lru) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lru) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lru) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

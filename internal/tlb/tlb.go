@@ -1,0 +1,314 @@
+// Package tlb models per-core translation lookaside buffers.
+//
+// Each core has an exclusive two-level hierarchy (L1 D-TLB backed by an L2
+// STLB victim cache), with entries tagged by PCID. The package also
+// provides a machine-wide shadow Tracker that records which (core, PCID,
+// VPN) triples currently cache which physical frame; the kernel uses it to
+// check the paper's central invariant — a physical page is never reused
+// while any TLB still maps it (§3, §4.2).
+package tlb
+
+import (
+	"fmt"
+
+	"latr/internal/mem"
+	"latr/internal/pt"
+	"latr/internal/topo"
+)
+
+// PCID is a process-context identifier. PCID 0 is used when PCIDs are
+// disabled (as Linux 4.10 elects — §4.5).
+type PCID uint16
+
+// Key identifies a TLB entry.
+type Key struct {
+	PCID PCID
+	VPN  pt.VPN
+}
+
+// Line is a cached translation.
+type Line struct {
+	Key      Key
+	PFN      mem.PFN
+	Writable bool
+}
+
+// Stats counts TLB events on one core.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Invlpg      uint64 // single-entry invalidations that hit a cached entry
+	FullFlushes uint64
+	Inserts     uint64
+}
+
+// TLB is one core's TLB hierarchy.
+type TLB struct {
+	core    topo.CoreID
+	l1, l2  *lru
+	huge    *lru // 2 MB translations (see huge.go), allocated lazily
+	tracker *Tracker
+	Stats   Stats
+}
+
+// New builds a TLB with the given level capacities. tracker may be nil to
+// disable shadow tracking (large benchmark runs).
+func New(core topo.CoreID, l1Size, l2Size int, tracker *Tracker) *TLB {
+	if l1Size <= 0 {
+		panic("tlb: L1 size must be positive")
+	}
+	t := &TLB{core: core, tracker: tracker}
+	t.l1 = newLRU(l1Size)
+	if l2Size > 0 {
+		t.l2 = newLRU(l2Size)
+	}
+	return t
+}
+
+// Core returns the owning core.
+func (t *TLB) Core() topo.CoreID { return t.core }
+
+// Lookup consults the hierarchy. On an L2 hit the entry is promoted to L1.
+func (t *TLB) Lookup(pcid PCID, vpn pt.VPN) (Line, bool) {
+	k := Key{pcid, vpn}
+	if ln, ok := t.l1.get(k); ok {
+		t.Stats.Hits++
+		return ln, true
+	}
+	if t.l2 != nil {
+		if ln, ok := t.l2.get(k); ok {
+			t.l2.remove(k)
+			t.promote(ln)
+			t.Stats.Hits++
+			return ln, true
+		}
+	}
+	t.Stats.Misses++
+	return Line{}, false
+}
+
+// Insert caches a translation (after a page walk). An existing entry for
+// the same key is replaced.
+func (t *TLB) Insert(pcid PCID, vpn pt.VPN, pfn mem.PFN, writable bool) {
+	t.Stats.Inserts++
+	k := Key{pcid, vpn}
+	// Replace any stale duplicate first so tracker accounting stays exact.
+	t.dropKey(k)
+	t.promote(Line{Key: k, PFN: pfn, Writable: writable})
+	if t.tracker != nil {
+		t.tracker.add(t.core, k, pfn)
+	}
+}
+
+// promote inserts into L1, demoting the L1 victim into L2 (whose victim, if
+// any, leaves the hierarchy entirely).
+func (t *TLB) promote(ln Line) {
+	if victim, evicted := t.l1.put(ln); evicted {
+		if t.l2 != nil {
+			if v2, e2 := t.l2.put(victim); e2 {
+				t.dropped(v2)
+			}
+		} else {
+			t.dropped(victim)
+		}
+	}
+}
+
+func (t *TLB) dropped(ln Line) {
+	if t.tracker != nil {
+		t.tracker.del(t.core, ln.Key)
+	}
+}
+
+func (t *TLB) dropKey(k Key) {
+	if ln, ok := t.l1.remove(k); ok {
+		t.dropped(ln)
+		return
+	}
+	if t.l2 != nil {
+		if ln, ok := t.l2.remove(k); ok {
+			t.dropped(ln)
+		}
+	}
+}
+
+// Invalidate removes one page's entry (INVLPG), including any huge
+// translation covering the address. It reports whether an entry was
+// actually cached.
+func (t *TLB) Invalidate(pcid PCID, vpn pt.VPN) bool {
+	k := Key{pcid, vpn}
+	found := t.invalidateHugeCovering(pcid, vpn)
+	if ln, ok := t.l1.remove(k); ok {
+		t.dropped(ln)
+		found = true
+	}
+	if t.l2 != nil {
+		if ln, ok := t.l2.remove(k); ok {
+			t.dropped(ln)
+			found = true
+		}
+	}
+	if found {
+		t.Stats.Invlpg++
+	}
+	return found
+}
+
+// InvalidateRange removes all entries for pages in [startVPN, endVPN),
+// including huge translations overlapping the range.
+func (t *TLB) InvalidateRange(pcid PCID, start, end pt.VPN) int {
+	n := 0
+	for vpn := start; vpn < end; vpn++ {
+		if t.Invalidate(pcid, vpn) {
+			n++
+		}
+	}
+	if t.huge != nil {
+		for base := pt.HugeBase(start); base < end; base += pt.HugePages {
+			if t.invalidateHugeCovering(pcid, base) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FlushAll empties the hierarchy (CR3 write without PCID preservation).
+func (t *TLB) FlushAll() {
+	t.Stats.FullFlushes++
+	t.flushWhere(func(Line) bool { return true })
+	t.flushHugeWhere(func(Line) bool { return true })
+}
+
+// FlushPCID removes all entries tagged with the given PCID.
+func (t *TLB) FlushPCID(p PCID) {
+	t.flushWhere(func(ln Line) bool { return ln.Key.PCID == p })
+	t.flushHugeWhere(func(ln Line) bool { return ln.Key.PCID == p })
+}
+
+func (t *TLB) flushWhere(pred func(Line) bool) {
+	drop := func(c *lru) {
+		if c == nil {
+			return
+		}
+		var victims []Key
+		c.forEach(func(ln Line) {
+			if pred(ln) {
+				victims = append(victims, ln.Key)
+			}
+		})
+		for _, k := range victims {
+			if ln, ok := c.remove(k); ok {
+				t.dropped(ln)
+			}
+		}
+	}
+	drop(t.l1)
+	drop(t.l2)
+}
+
+// Len returns the number of cached entries across all arrays.
+func (t *TLB) Len() int {
+	n := t.l1.len()
+	if t.l2 != nil {
+		n += t.l2.len()
+	}
+	if t.huge != nil {
+		n += t.huge.len()
+	}
+	return n
+}
+
+// Has reports whether a translation is cached at any level, without
+// touching LRU state or stats.
+func (t *TLB) Has(pcid PCID, vpn pt.VPN) bool {
+	k := Key{pcid, vpn}
+	if t.l1.contains(k) {
+		return true
+	}
+	return t.l2 != nil && t.l2.contains(k)
+}
+
+// Tracker is the machine-wide shadow map: PFN → set of TLB entries caching
+// it. It exists purely for correctness checking and statistics; the
+// simulated hardware has no such structure (that is UNITD's CAM, which the
+// paper rejects as too expensive — §2.2).
+type Tracker struct {
+	byFrame map[mem.PFN]map[trackKey]struct{}
+	byEntry map[trackKey]mem.PFN
+}
+
+type trackKey struct {
+	core topo.CoreID
+	key  Key
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		byFrame: make(map[mem.PFN]map[trackKey]struct{}),
+		byEntry: make(map[trackKey]mem.PFN),
+	}
+}
+
+func (tr *Tracker) add(core topo.CoreID, k Key, pfn mem.PFN) {
+	tk := trackKey{core, k}
+	if old, ok := tr.byEntry[tk]; ok {
+		tr.removeFromFrame(old, tk)
+	}
+	tr.byEntry[tk] = pfn
+	s := tr.byFrame[pfn]
+	if s == nil {
+		s = make(map[trackKey]struct{})
+		tr.byFrame[pfn] = s
+	}
+	s[tk] = struct{}{}
+}
+
+func (tr *Tracker) del(core topo.CoreID, k Key) {
+	tk := trackKey{core, k}
+	pfn, ok := tr.byEntry[tk]
+	if !ok {
+		return
+	}
+	delete(tr.byEntry, tk)
+	tr.removeFromFrame(pfn, tk)
+}
+
+func (tr *Tracker) removeFromFrame(pfn mem.PFN, tk trackKey) {
+	if s := tr.byFrame[pfn]; s != nil {
+		delete(s, tk)
+		if len(s) == 0 {
+			delete(tr.byFrame, pfn)
+		}
+	}
+}
+
+// CachedOn returns the cores whose TLBs currently map pfn.
+func (tr *Tracker) CachedOn(pfn mem.PFN) []topo.CoreID {
+	s := tr.byFrame[pfn]
+	if len(s) == 0 {
+		return nil
+	}
+	seen := map[topo.CoreID]bool{}
+	var out []topo.CoreID
+	for k := range s {
+		if !seen[k.core] {
+			seen[k.core] = true
+			out = append(out, k.core)
+		}
+	}
+	return out
+}
+
+// AssertUnmapped returns an error if any core's TLB still maps pfn — the
+// reuse invariant the kernel checks before handing a frame back out.
+func (tr *Tracker) AssertUnmapped(pfn mem.PFN) error {
+	if cores := tr.CachedOn(pfn); len(cores) > 0 {
+		return fmt.Errorf("tlb: frame %d reused while still cached on cores %v", pfn, cores)
+	}
+	return nil
+}
+
+// Frames returns how many distinct frames are currently cached somewhere.
+func (tr *Tracker) Frames() int { return len(tr.byFrame) }

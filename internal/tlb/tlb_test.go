@@ -1,0 +1,273 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"latr/internal/mem"
+	"latr/internal/pt"
+)
+
+func newT(l1, l2 int) (*TLB, *Tracker) {
+	tr := NewTracker()
+	return New(0, l1, l2, tr), tr
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tb, _ := newT(4, 8)
+	if _, ok := tb.Lookup(0, 1); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tb.Insert(0, 1, 100, true)
+	ln, ok := tb.Lookup(0, 1)
+	if !ok || ln.PFN != 100 || !ln.Writable {
+		t.Fatalf("Lookup = %+v, %v", ln, ok)
+	}
+	if tb.Stats.Hits != 1 || tb.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestPCIDIsolation(t *testing.T) {
+	tb, _ := newT(4, 8)
+	tb.Insert(1, 7, 100, true)
+	if _, ok := tb.Lookup(2, 7); ok {
+		t.Fatal("PCID 2 saw PCID 1's entry")
+	}
+	if _, ok := tb.Lookup(1, 7); !ok {
+		t.Fatal("PCID 1 lost its entry")
+	}
+}
+
+func TestL1EvictionDemotesToL2(t *testing.T) {
+	tb, _ := newT(2, 4)
+	tb.Insert(0, 1, 1, true)
+	tb.Insert(0, 2, 2, true)
+	tb.Insert(0, 3, 3, true) // evicts vpn 1 into L2
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	// vpn 1 should still hit (from L2) and be promoted.
+	if _, ok := tb.Lookup(0, 1); !ok {
+		t.Fatal("L2 victim lost")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	tb, tr := newT(4, 8)
+	for i := 0; i < 100; i++ {
+		tb.Insert(0, pt.VPN(i), mem.PFN(i), true)
+	}
+	if tb.Len() != 12 {
+		t.Fatalf("Len = %d, want L1+L2 = 12", tb.Len())
+	}
+	if tr.Frames() != 12 {
+		t.Fatalf("tracker frames = %d, want 12 (evictions must untrack)", tr.Frames())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tb, tr := newT(4, 8)
+	tb.Insert(0, 5, 50, true)
+	if !tb.Invalidate(0, 5) {
+		t.Fatal("Invalidate missed cached entry")
+	}
+	if tb.Invalidate(0, 5) {
+		t.Fatal("second Invalidate reported a hit")
+	}
+	if _, ok := tb.Lookup(0, 5); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+	if err := tr.AssertUnmapped(50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateInL2(t *testing.T) {
+	tb, _ := newT(1, 4)
+	tb.Insert(0, 1, 1, true)
+	tb.Insert(0, 2, 2, true) // vpn 1 now in L2
+	if !tb.Invalidate(0, 1) {
+		t.Fatal("Invalidate missed L2 entry")
+	}
+	if tb.Has(0, 1) {
+		t.Fatal("L2 entry survived")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	tb, _ := newT(16, 16)
+	for i := 0; i < 10; i++ {
+		tb.Insert(0, pt.VPN(i), mem.PFN(i), true)
+	}
+	if n := tb.InvalidateRange(0, 3, 7); n != 4 {
+		t.Fatalf("InvalidateRange removed %d, want 4", n)
+	}
+	for i := 0; i < 10; i++ {
+		want := i < 3 || i >= 7
+		if tb.Has(0, pt.VPN(i)) != want {
+			t.Fatalf("vpn %d cached=%v, want %v", i, !want, want)
+		}
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tb, tr := newT(4, 8)
+	for i := 0; i < 10; i++ {
+		tb.Insert(PCID(i%3), pt.VPN(i), mem.PFN(i), true)
+	}
+	tb.FlushAll()
+	if tb.Len() != 0 {
+		t.Fatalf("Len after flush = %d", tb.Len())
+	}
+	if tr.Frames() != 0 {
+		t.Fatalf("tracker frames after flush = %d", tr.Frames())
+	}
+	if tb.Stats.FullFlushes != 1 {
+		t.Fatalf("flush count = %d", tb.Stats.FullFlushes)
+	}
+}
+
+func TestFlushPCID(t *testing.T) {
+	tb, _ := newT(8, 8)
+	tb.Insert(1, 1, 1, true)
+	tb.Insert(1, 2, 2, true)
+	tb.Insert(2, 3, 3, true)
+	tb.FlushPCID(1)
+	if tb.Has(1, 1) || tb.Has(1, 2) {
+		t.Fatal("PCID 1 entries survived FlushPCID")
+	}
+	if !tb.Has(2, 3) {
+		t.Fatal("PCID 2 entry lost by FlushPCID(1)")
+	}
+}
+
+func TestInsertReplacesStaleMapping(t *testing.T) {
+	tb, tr := newT(4, 8)
+	tb.Insert(0, 1, 100, true)
+	tb.Insert(0, 1, 200, false) // remapped to a new frame
+	ln, ok := tb.Lookup(0, 1)
+	if !ok || ln.PFN != 200 || ln.Writable {
+		t.Fatalf("Lookup = %+v", ln)
+	}
+	if err := tr.AssertUnmapped(100); err != nil {
+		t.Fatalf("stale tracking for replaced entry: %v", err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tb.Len())
+	}
+}
+
+func TestTrackerCachedOn(t *testing.T) {
+	tr := NewTracker()
+	a := New(1, 4, 0, tr)
+	b := New(2, 4, 0, tr)
+	a.Insert(0, 9, 99, true)
+	b.Insert(0, 9, 99, true)
+	cores := tr.CachedOn(99)
+	if len(cores) != 2 {
+		t.Fatalf("CachedOn = %v", cores)
+	}
+	if err := tr.AssertUnmapped(99); err == nil {
+		t.Fatal("AssertUnmapped should fail while cached")
+	}
+	a.Invalidate(0, 9)
+	b.FlushAll()
+	if err := tr.AssertUnmapped(99); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoL2(t *testing.T) {
+	tb, tr := newT(2, 0)
+	tb.Insert(0, 1, 1, true)
+	tb.Insert(0, 2, 2, true)
+	tb.Insert(0, 3, 3, true)
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	if tr.Frames() != 2 {
+		t.Fatalf("tracker = %d frames", tr.Frames())
+	}
+}
+
+func TestNilTrackerOK(t *testing.T) {
+	tb := New(0, 4, 4, nil)
+	tb.Insert(0, 1, 1, true)
+	tb.Invalidate(0, 1)
+	tb.FlushAll()
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := newLRU(3)
+	for i := 1; i <= 3; i++ {
+		c.put(Line{Key: Key{0, pt.VPN(i)}, PFN: mem.PFN(i)})
+	}
+	c.get(Key{0, 1}) // 1 becomes MRU; LRU is 2
+	v, ev := c.put(Line{Key: Key{0, 4}, PFN: 4})
+	if !ev || v.Key.VPN != 2 {
+		t.Fatalf("evicted %+v, want vpn 2", v)
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := newLRU(2)
+	c.put(Line{Key: Key{0, 1}, PFN: 1})
+	c.put(Line{Key: Key{0, 1}, PFN: 9})
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+	ln, _ := c.get(Key{0, 1})
+	if ln.PFN != 9 {
+		t.Fatalf("update lost: %+v", ln)
+	}
+}
+
+func TestPropertyTrackerMatchesTLBContents(t *testing.T) {
+	// After any sequence of inserts/invalidates/flushes, the tracker's view
+	// must exactly match what the TLB reports as cached.
+	type op struct {
+		Kind uint8
+		VPN  uint8
+		PFN  uint8
+	}
+	if err := quick.Check(func(ops []op) bool {
+		tr := NewTracker()
+		tb := New(0, 4, 4, tr)
+		for _, o := range ops {
+			vpn := pt.VPN(o.VPN % 32)
+			switch o.Kind % 4 {
+			case 0, 1:
+				tb.Insert(0, vpn, mem.PFN(o.PFN), true)
+			case 2:
+				tb.Invalidate(0, vpn)
+			case 3:
+				if o.VPN%16 == 0 {
+					tb.FlushAll()
+				}
+			}
+		}
+		// Every cached vpn must be tracked on core 0 with its PFN.
+		count := 0
+		for vpn := pt.VPN(0); vpn < 32; vpn++ {
+			if !tb.Has(0, vpn) {
+				continue
+			}
+			count++
+			ln, _ := tb.Lookup(0, vpn)
+			found := false
+			for _, c := range tr.CachedOn(ln.PFN) {
+				if c == 0 {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		_ = count
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

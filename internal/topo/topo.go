@@ -1,0 +1,134 @@
+// Package topo describes machine topology: sockets, cores, NUMA nodes and
+// the inter-socket distances that drive IPI delivery and remote-memory
+// latency. The two presets mirror Table 3 of the paper.
+package topo
+
+import "fmt"
+
+// CoreID identifies a logical core, 0-based and dense across the machine.
+type CoreID int
+
+// NodeID identifies a NUMA node. Each socket is one NUMA node.
+type NodeID int
+
+// Spec describes a machine. Cores are laid out socket-major: core c lives
+// on socket c / CoresPerSocket.
+type Spec struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+
+	// MemPerNodeBytes is the physical memory per NUMA node.
+	MemPerNodeBytes int64
+
+	// L1TLBEntries and L2TLBEntries size the per-core TLB levels.
+	L1TLBEntries int
+	L2TLBEntries int
+}
+
+// TwoSocket16 is the paper's primary machine: Intel E5-2630 v3, 2 sockets x
+// 8 cores, 128 GB RAM, 64-entry L1 D-TLB (Table 3). The paper reports the
+// L2 TLB "per socket"; we model the conventional per-core 1024-entry STLB.
+func TwoSocket16() Spec {
+	return Spec{
+		Name:            "2-socket-16-core",
+		Sockets:         2,
+		CoresPerSocket:  8,
+		MemPerNodeBytes: 64 << 30,
+		L1TLBEntries:    64,
+		L2TLBEntries:    1024,
+	}
+}
+
+// EightSocket120 is the paper's large NUMA machine: Intel E7-8870 v2, 8
+// sockets x 15 cores, 768 GB RAM (Table 3).
+func EightSocket120() Spec {
+	return Spec{
+		Name:            "8-socket-120-core",
+		Sockets:         8,
+		CoresPerSocket:  15,
+		MemPerNodeBytes: 96 << 30,
+		L1TLBEntries:    64,
+		L2TLBEntries:    512,
+	}
+}
+
+// Custom builds a spec with the given shape and default TLB/memory sizing.
+func Custom(sockets, coresPerSocket int) Spec {
+	return Spec{
+		Name:            fmt.Sprintf("%d-socket-%d-core", sockets, sockets*coresPerSocket),
+		Sockets:         sockets,
+		CoresPerSocket:  coresPerSocket,
+		MemPerNodeBytes: 32 << 30,
+		L1TLBEntries:    64,
+		L2TLBEntries:    1024,
+	}
+}
+
+// Validate reports a descriptive error for malformed specs.
+func (s Spec) Validate() error {
+	switch {
+	case s.Sockets <= 0:
+		return fmt.Errorf("topo: %q: sockets must be positive, got %d", s.Name, s.Sockets)
+	case s.CoresPerSocket <= 0:
+		return fmt.Errorf("topo: %q: cores per socket must be positive, got %d", s.Name, s.CoresPerSocket)
+	case s.MemPerNodeBytes <= 0:
+		return fmt.Errorf("topo: %q: memory per node must be positive, got %d", s.Name, s.MemPerNodeBytes)
+	case s.L1TLBEntries <= 0 || s.L2TLBEntries < 0:
+		return fmt.Errorf("topo: %q: invalid TLB sizing (L1=%d, L2=%d)", s.Name, s.L1TLBEntries, s.L2TLBEntries)
+	}
+	return nil
+}
+
+// NumCores is the total logical core count.
+func (s Spec) NumCores() int { return s.Sockets * s.CoresPerSocket }
+
+// NumNodes is the NUMA node count (one per socket).
+func (s Spec) NumNodes() int { return s.Sockets }
+
+// SocketOf returns the socket (== NUMA node) holding core c.
+func (s Spec) SocketOf(c CoreID) int { return int(c) / s.CoresPerSocket }
+
+// NodeOf returns the NUMA node holding core c.
+func (s Spec) NodeOf(c CoreID) NodeID { return NodeID(s.SocketOf(c)) }
+
+// CoresOnNode returns the cores of NUMA node n, in ascending order.
+func (s Spec) CoresOnNode(n NodeID) []CoreID {
+	out := make([]CoreID, 0, s.CoresPerSocket)
+	base := int(n) * s.CoresPerSocket
+	for i := 0; i < s.CoresPerSocket; i++ {
+		out = append(out, CoreID(base+i))
+	}
+	return out
+}
+
+// Hops returns the interconnect hop count between the sockets of two cores:
+// 0 for same socket, 1 for directly-linked sockets, 2 beyond that. On the
+// 8-socket E7 the APIC message needs two QPI hops once more than 3 sockets
+// apart, which is the knee in Fig 7; we model sockets as a ring of
+// fully-linked 4-socket groups, so distance ≥ 4 costs two hops.
+func (s Spec) Hops(a, b CoreID) int {
+	sa, sb := s.SocketOf(a), s.SocketOf(b)
+	if sa == sb {
+		return 0
+	}
+	d := sa - sb
+	if d < 0 {
+		d = -d
+	}
+	if d < 4 {
+		return 1
+	}
+	return 2
+}
+
+// MaxHops is the largest hop count present in the machine.
+func (s Spec) MaxHops() int {
+	if s.Sockets <= 1 {
+		return 0
+	}
+	if s.Sockets <= 4 {
+		return 1
+	}
+	return 2
+}

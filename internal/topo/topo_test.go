@@ -1,0 +1,175 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresets(t *testing.T) {
+	two := TwoSocket16()
+	if err := two.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if two.NumCores() != 16 || two.NumNodes() != 2 {
+		t.Fatalf("TwoSocket16: %d cores / %d nodes", two.NumCores(), two.NumNodes())
+	}
+	eight := EightSocket120()
+	if err := eight.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if eight.NumCores() != 120 || eight.NumNodes() != 8 {
+		t.Fatalf("EightSocket120: %d cores / %d nodes", eight.NumCores(), eight.NumNodes())
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "no-sockets", CoresPerSocket: 4, MemPerNodeBytes: 1, L1TLBEntries: 1},
+		{Name: "no-cores", Sockets: 2, MemPerNodeBytes: 1, L1TLBEntries: 1},
+		{Name: "no-mem", Sockets: 2, CoresPerSocket: 4, L1TLBEntries: 1},
+		{Name: "no-tlb", Sockets: 2, CoresPerSocket: 4, MemPerNodeBytes: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%s) accepted invalid spec", s.Name)
+		}
+	}
+}
+
+func TestSocketOf(t *testing.T) {
+	s := TwoSocket16()
+	for c := 0; c < 8; c++ {
+		if s.SocketOf(CoreID(c)) != 0 {
+			t.Fatalf("core %d should be socket 0", c)
+		}
+	}
+	for c := 8; c < 16; c++ {
+		if s.SocketOf(CoreID(c)) != 1 {
+			t.Fatalf("core %d should be socket 1", c)
+		}
+	}
+}
+
+func TestCoresOnNode(t *testing.T) {
+	s := EightSocket120()
+	cores := s.CoresOnNode(3)
+	if len(cores) != 15 {
+		t.Fatalf("node 3 has %d cores, want 15", len(cores))
+	}
+	if cores[0] != 45 || cores[14] != 59 {
+		t.Fatalf("node 3 core range = [%d,%d], want [45,59]", cores[0], cores[14])
+	}
+}
+
+func TestHops(t *testing.T) {
+	two := TwoSocket16()
+	if h := two.Hops(0, 7); h != 0 {
+		t.Errorf("same-socket hops = %d", h)
+	}
+	if h := two.Hops(0, 8); h != 1 {
+		t.Errorf("cross-socket hops = %d", h)
+	}
+	if two.MaxHops() != 1 {
+		t.Errorf("two-socket MaxHops = %d", two.MaxHops())
+	}
+
+	eight := EightSocket120()
+	if h := eight.Hops(0, 15); h != 1 {
+		t.Errorf("adjacent-socket hops = %d", h)
+	}
+	// Sockets 0 and 4 are 4 apart: two hops — the Fig 7 knee.
+	if h := eight.Hops(0, 60); h != 2 {
+		t.Errorf("distant-socket hops = %d, want 2", h)
+	}
+	if eight.MaxHops() != 2 {
+		t.Errorf("eight-socket MaxHops = %d", eight.MaxHops())
+	}
+	if Custom(1, 4).MaxHops() != 0 {
+		t.Error("single-socket MaxHops != 0")
+	}
+}
+
+func TestMaskBasics(t *testing.T) {
+	var m CoreMask
+	if !m.Empty() {
+		t.Fatal("zero mask not empty")
+	}
+	m.Set(0)
+	m.Set(63)
+	m.Set(64)
+	m.Set(200)
+	if m.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", m.Count())
+	}
+	for _, c := range []CoreID{0, 63, 64, 200} {
+		if !m.Has(c) {
+			t.Fatalf("mask missing core %d", c)
+		}
+	}
+	if m.Has(1) || m.Has(65) {
+		t.Fatal("mask has cores never set")
+	}
+	m.Clear(63)
+	if m.Has(63) || m.Count() != 3 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestMaskSetClearRoundTrip(t *testing.T) {
+	if err := quick.Check(func(raw uint8) bool {
+		c := CoreID(raw)
+		var m CoreMask
+		m.Set(c)
+		ok := m.Has(c) && m.Count() == 1
+		m.Clear(c)
+		return ok && m.Empty()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskAlgebra(t *testing.T) {
+	a := MaskOf(1, 2, 3)
+	b := MaskOf(3, 4)
+	if got := a.Or(b).Count(); got != 4 {
+		t.Errorf("Or count = %d", got)
+	}
+	if got := a.And(b); !got.Has(3) || got.Count() != 1 {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.AndNot(b); got.Has(3) || got.Count() != 2 {
+		t.Errorf("AndNot = %v", got)
+	}
+}
+
+func TestMaskForEachOrder(t *testing.T) {
+	m := MaskOf(200, 5, 64, 0)
+	var got []CoreID
+	m.ForEach(func(c CoreID) { got = append(got, c) })
+	want := []CoreID{0, 5, 64, 200}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if s := MaskOf(1, 12, 103).String(); s != "{1,12,103}" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (CoreMask{}).String(); s != "{}" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+func TestMaskCores(t *testing.T) {
+	m := MaskOf(7, 3)
+	cs := m.Cores()
+	if len(cs) != 2 || cs[0] != 3 || cs[1] != 7 {
+		t.Errorf("Cores = %v", cs)
+	}
+}

@@ -1,0 +1,82 @@
+// Package trace records timestamped per-core events and renders them as a
+// textual timeline, reproducing the operation diagrams of Figs 2 and 3.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time sim.Time
+	Core topo.CoreID
+	Cat  string // e.g. "munmap", "ipi", "sweep", "reclaim"
+	Msg  string
+}
+
+// Tracer collects events. A nil *Tracer is valid and records nothing, so
+// the kernel can trace unconditionally.
+type Tracer struct {
+	events []Event
+	limit  int
+}
+
+// New returns a tracer that keeps at most limit events (0 = unlimited).
+func New(limit int) *Tracer {
+	return &Tracer{limit: limit}
+}
+
+// Record appends an event. It is a no-op on a nil tracer or when full.
+func (t *Tracer) Record(now sim.Time, core topo.CoreID, cat, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, Event{now, core, cat, fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in time order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Filter returns the events whose category is in cats (all if empty).
+func (t *Tracer) Filter(cats ...string) []Event {
+	if len(cats) == 0 {
+		return t.Events()
+	}
+	want := map[string]bool{}
+	for _, c := range cats {
+		want[c] = true
+	}
+	var out []Event
+	for _, e := range t.Events() {
+		if want[e.Cat] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render formats the timeline one event per line, grouped visually per
+// core, mirroring the horizontal per-core lanes of Fig 2/3.
+func (t *Tracer) Render() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%12v  core%-3d %-10s %s\n", e.Time, int(e.Core), e.Cat, e.Msg)
+	}
+	return b.String()
+}

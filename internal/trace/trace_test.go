@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, 0, "x", "msg")
+	if tr.Events() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	tr := New(0)
+	tr.Record(20, 1, "b", "second")
+	tr.Record(10, 0, "a", "first %d", 42)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Msg != "first 42" || evs[1].Core != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(1, 0, "x", "e")
+	}
+	if len(tr.Events()) != 3 {
+		t.Fatalf("limit not enforced: %d", len(tr.Events()))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(0)
+	tr.Record(1, 0, "ipi", "a")
+	tr.Record(2, 0, "sweep", "b")
+	tr.Record(3, 0, "ipi", "c")
+	got := tr.Filter("ipi")
+	if len(got) != 2 {
+		t.Fatalf("Filter = %+v", got)
+	}
+	if len(tr.Filter()) != 3 {
+		t.Fatal("empty filter should return all")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New(0)
+	tr.Record(1500, 2, "munmap", "clear PTE")
+	out := tr.Render()
+	if !strings.Contains(out, "core2") || !strings.Contains(out, "clear PTE") {
+		t.Fatalf("Render = %q", out)
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// PBZIP2Config models parallel in-memory compression (Fig 11): the input
+// file is read (first-touched) on node 0, then worker threads across all
+// cores grab 100 KB blocks, compress them into freshly mmap'd output
+// buffers, and free the buffers — generating both NUMA migration
+// candidates (input blocks read from the far socket) and a steady
+// mmap/munmap stream.
+type PBZIP2Config struct {
+	Blocks       int
+	BlockPages   int // 100 KB blocks → 25 pages
+	OutPages     int // compressed output buffer
+	CompressWork sim.Time
+	Cores        []topo.CoreID
+}
+
+// DefaultPBZIP2Config returns the Fig 11 configuration.
+func DefaultPBZIP2Config(cores []topo.CoreID) PBZIP2Config {
+	return PBZIP2Config{
+		Blocks:       96,
+		BlockPages:   25,
+		OutPages:     26,
+		CompressWork: 6 * sim.Millisecond,
+		Cores:        cores,
+	}
+}
+
+// PBZIP2 is the workload instance.
+type PBZIP2 struct {
+	cfg PBZIP2Config
+	k   *kernel.Kernel
+
+	nextBlock int
+	finished  int
+	total     int
+	finishAt  sim.Time
+	done      bool
+}
+
+// NewPBZIP2 returns the workload.
+func NewPBZIP2(cfg PBZIP2Config) *PBZIP2 {
+	if cfg.Blocks <= 0 || cfg.BlockPages <= 0 || len(cfg.Cores) == 0 {
+		panic("workload: invalid pbzip2 config")
+	}
+	return &PBZIP2{cfg: cfg}
+}
+
+// Setup spawns the loader and one worker per core.
+func (w *PBZIP2) Setup(k *kernel.Kernel) {
+	w.k = k
+	cfg := w.cfg
+	proc := k.NewProcess()
+	gate := NewGate(k)
+	var input pt.VPN
+
+	proc.Spawn(cfg.Cores[0], kernel.Script(
+		func(*kernel.Thread) kernel.Op {
+			return kernel.OpMmap{Pages: cfg.Blocks * cfg.BlockPages, Writable: true, Populate: true, Node: 0}
+		},
+		func(th *kernel.Thread) kernel.Op {
+			input = th.LastAddr
+			gate.Open()
+			return nil
+		},
+	))
+
+	w.total = len(cfg.Cores)
+	for _, core := range cfg.Cores {
+		block := -1
+		step := 0
+		proc.Spawn(core, kernel.Loop(func(th *kernel.Thread) kernel.Op {
+			switch step {
+			case 0:
+				step = 1
+				return gate.Wait()
+			case 1: // grab the next block
+				if w.nextBlock >= cfg.Blocks {
+					w.finished++
+					if w.finished == w.total {
+						w.finishAt = w.k.Now()
+						w.done = true
+					}
+					return nil
+				}
+				block = w.nextBlock
+				w.nextBlock++
+				step = 2
+				return kernel.OpTouchRange{
+					Start:    input + pt.VPN(block*cfg.BlockPages),
+					Pages:    cfg.BlockPages,
+					Accesses: 32,
+				}
+			case 2: // compress
+				step = 3
+				return kernel.OpCompute{D: cfg.CompressWork}
+			case 3: // allocate the output buffer
+				step = 4
+				return kernel.OpMmap{Pages: cfg.OutPages, Writable: true, Populate: true, Node: -1}
+			case 4: // write compressed data
+				step = 5
+				return kernel.OpTouchRange{Start: th.LastAddr, Pages: cfg.OutPages, Write: true}
+			case 5: // hand off and free the buffer
+				step = 1
+				w.k.Metrics.Inc("pbzip2.blocks", 1)
+				return kernel.OpMunmap{Addr: th.LastAddr, Pages: cfg.OutPages}
+			default:
+				panic("unreachable")
+			}
+		}))
+	}
+}
+
+// Done reports whether all blocks were compressed.
+func (w *PBZIP2) Done() bool { return w.done }
+
+// FinishTime is when the last worker exited.
+func (w *PBZIP2) FinishTime() sim.Time { return w.finishAt }

@@ -1,0 +1,345 @@
+// Package latr is a simulation-based reproduction of "LATR: Lazy
+// Translation Coherence" (Kumar et al., ASPLOS 2018).
+//
+// LATR replaces the synchronous, IPI-based TLB shootdown of commodity
+// operating systems with an asynchronous mechanism: the unmapping core
+// records a per-core LATR state; every core invalidates its own TLB while
+// sweeping those states at scheduler ticks and context switches; freed
+// virtual and physical memory parks on lazy lists until the sweeps are
+// provably complete, two tick periods later.
+//
+// Because the original artifact is a Linux 4.10 kernel patch, this package
+// reproduces it on a deterministic discrete-event machine simulator: cores
+// with two-level TLBs, 4-level page tables, a per-core scheduler with 1 ms
+// ticks, IPIs with per-hop delivery latency and interrupt-off windows, an
+// mmap/munmap/madvise/mprotect syscall layer, mmap_sem, and AutoNUMA page
+// migration. Four TLB-coherence policies plug into that kernel: stock
+// Linux, ABIS (Amit, ATC'17), Barrelfish-style message passing, and LATR
+// itself (plus an idealised instant-coherence lower bound).
+//
+// # Quickstart
+//
+//	sys := latr.NewSystem(latr.Config{Machine: latr.TwoSocket16, Policy: latr.PolicyLATR})
+//	p := sys.NewProcess()
+//	p.Spawn(0, latr.Script(
+//		func(th *latr.Thread) latr.Op { return latr.OpMmap{Pages: 4, Writable: true, Populate: true, Node: -1} },
+//		func(th *latr.Thread) latr.Op { return latr.OpMunmap{Addr: th.LastAddr, Pages: 4} },
+//	))
+//	sys.Run(10 * latr.Millisecond)
+//	fmt.Println(sys.Metrics().Hist("munmap.latency").Mean())
+//
+// The experiment runners that regenerate every table and figure of the
+// paper's evaluation are exposed through RunExperiment and Experiments;
+// the cmd/latr-bench binary wraps them.
+package latr
+
+import (
+	latrcore "latr/internal/core"
+	"latr/internal/cost"
+	"latr/internal/experiments"
+	"latr/internal/kernel"
+	"latr/internal/metrics"
+	"latr/internal/numa"
+	"latr/internal/pt"
+	"latr/internal/shootdown"
+	"latr/internal/sim"
+	"latr/internal/swap"
+	"latr/internal/topo"
+	"latr/internal/trace"
+	"latr/internal/vm"
+)
+
+// Re-exported simulation time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// VPN is a virtual page number (virtual address >> 12).
+type VPN = pt.VPN
+
+// HugePages is the number of base pages per 2 MB huge page.
+const HugePages = pt.HugePages
+
+// Core identifiers and machine topology.
+type (
+	// CoreID identifies a logical core.
+	CoreID = topo.CoreID
+	// MachineSpec describes the simulated machine.
+	MachineSpec = topo.Spec
+)
+
+// Machine presets (Table 3).
+var (
+	// TwoSocket16 is the paper's commodity 2-socket, 16-core machine.
+	TwoSocket16 = topo.TwoSocket16()
+	// EightSocket120 is the paper's large 8-socket, 120-core NUMA machine.
+	EightSocket120 = topo.EightSocket120()
+)
+
+// CustomMachine builds an arbitrary topology.
+func CustomMachine(sockets, coresPerSocket int) MachineSpec {
+	return topo.Custom(sockets, coresPerSocket)
+}
+
+// PolicyKind selects a TLB-coherence mechanism.
+type PolicyKind string
+
+// Available coherence policies.
+const (
+	// PolicyLinux is the stock synchronous IPI shootdown (§2.1).
+	PolicyLinux PolicyKind = "linux"
+	// PolicyLATR is the paper's lazy mechanism (§4).
+	PolicyLATR PolicyKind = "latr"
+	// PolicyABIS narrows IPI targets via access-bit sharer tracking.
+	PolicyABIS PolicyKind = "abis"
+	// PolicyBarrelfish replaces IPIs with polled message passing.
+	PolicyBarrelfish PolicyKind = "barrelfish"
+	// PolicyInstant is the idealised zero-cost coherence lower bound.
+	PolicyInstant PolicyKind = "instant"
+)
+
+// Kernel-facing types, re-exported for programs and custom policies.
+type (
+	// Kernel is the simulated operating system.
+	Kernel = kernel.Kernel
+	// Process owns an address space.
+	Process = kernel.Process
+	// Thread is a schedulable execution context.
+	Thread = kernel.Thread
+	// Program generates a thread's operations.
+	Program = kernel.Program
+	// Op is one unit of thread work.
+	Op = kernel.Op
+	// Policy is the TLB-coherence extension point; implement it to plug a
+	// custom mechanism into the kernel (see examples/custom-policy).
+	Policy = kernel.Policy
+	// Unmap describes a free operation handed to a Policy.
+	Unmap = kernel.Unmap
+	// FrameRef pairs an unmapped virtual page with its physical frame.
+	FrameRef = kernel.FrameRef
+	// KernelCore is one simulated CPU.
+	KernelCore = kernel.Core
+	// Registry collects counters, gauges and histograms.
+	Registry = metrics.Registry
+	// Tracer records timestamped events when tracing is enabled.
+	Tracer = trace.Tracer
+	// CostModel holds every latency constant of the machine model.
+	CostModel = cost.Model
+)
+
+// Thread operations, re-exported.
+type (
+	// OpCompute burns CPU time.
+	OpCompute = kernel.OpCompute
+	// OpSleep blocks without consuming CPU.
+	OpSleep = kernel.OpSleep
+	// OpYield surrenders the CPU.
+	OpYield = kernel.OpYield
+	// OpTouch accesses an explicit page list.
+	OpTouch = kernel.OpTouch
+	// OpTouchRange accesses a contiguous page range.
+	OpTouchRange = kernel.OpTouchRange
+	// OpMmap maps a fresh region.
+	OpMmap = kernel.OpMmap
+	// OpMunmap unmaps a region (a lazy-capable free operation).
+	OpMunmap = kernel.OpMunmap
+	// OpMadvise frees pages but keeps the VA range (MADV_DONTNEED).
+	OpMadvise = kernel.OpMadvise
+	// OpMprotect changes protection (always synchronous).
+	OpMprotect = kernel.OpMprotect
+	// OpMremap moves a mapping (always synchronous).
+	OpMremap = kernel.OpMremap
+	// OpCall runs kernel-extension work in thread context.
+	OpCall = kernel.OpCall
+	// OpFork creates a copy-on-write child process (always synchronous).
+	OpFork = kernel.OpFork
+)
+
+// VMA kinds for OpMmap.
+const (
+	// Anon is an anonymous mapping.
+	Anon = vm.Anon
+	// File is a file-backed mapping.
+	File = vm.File
+)
+
+// Script builds a Program from a fixed step sequence.
+func Script(steps ...func(th *Thread) Op) Program { return kernel.Script(steps...) }
+
+// Loop builds a Program that repeats body until it returns nil.
+func Loop(body func(th *Thread) Op) Program { return kernel.Loop(body) }
+
+// LATRConfig tunes the LATR mechanism (zero values take paper defaults:
+// 64 states per core, 2 ms reclamation delay, sweeps at ticks and context
+// switches).
+type LATRConfig = latrcore.Config
+
+// AutoNUMAConfig tunes the AutoNUMA balancer.
+type AutoNUMAConfig = numa.Config
+
+// SwapConfig tunes the LRU page swapper (Table 1's page-swap row; §3's
+// lazy-swap sketch).
+type SwapConfig = swap.Config
+
+// Config assembles a simulated system.
+type Config struct {
+	// Machine selects the topology (default TwoSocket16).
+	Machine MachineSpec
+	// Policy selects the coherence mechanism (default PolicyLinux).
+	Policy PolicyKind
+	// CustomPolicy overrides Policy with a user implementation.
+	CustomPolicy Policy
+	// LATR tunes the LATR policy when Policy == PolicyLATR.
+	LATR LATRConfig
+	// AutoNUMA, when non-nil, installs NUMA balancing with this config.
+	AutoNUMA *AutoNUMAConfig
+	// Swap, when non-nil, installs the LRU page swapper with this config.
+	Swap *SwapConfig
+	// UsePCID enables PCID-tagged TLBs (§4.5).
+	UsePCID bool
+	// Tickless disables scheduler ticks on idle cores (§7).
+	Tickless bool
+	// CheckInvariants enables the shadow-TLB reuse-invariant checker.
+	CheckInvariants bool
+	// TraceLimit enables event tracing, keeping at most this many events.
+	TraceLimit int
+	// Seed drives all simulation randomness (default 1).
+	Seed uint64
+	// Cost overrides the calibrated latency model when non-nil.
+	Cost *CostModel
+}
+
+// System is an assembled machine ready to run workloads.
+type System struct {
+	k        *kernel.Kernel
+	autonuma *numa.AutoNUMA
+	swapper  *swap.Swapper
+}
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) *System {
+	spec := cfg.Machine
+	if spec.NumCores() == 0 {
+		spec = topo.TwoSocket16()
+	}
+	var pol kernel.Policy
+	switch {
+	case cfg.CustomPolicy != nil:
+		pol = cfg.CustomPolicy
+	case cfg.Policy == "" || cfg.Policy == PolicyLinux:
+		pol = shootdown.NewLinux()
+	case cfg.Policy == PolicyLATR:
+		pol = latrcore.New(cfg.LATR)
+	case cfg.Policy == PolicyABIS:
+		pol = shootdown.NewABIS()
+	case cfg.Policy == PolicyBarrelfish:
+		pol = shootdown.NewBarrelfish()
+	case cfg.Policy == PolicyInstant:
+		pol = kernel.NewInstantPolicy()
+	default:
+		panic("latr: unknown policy " + string(cfg.Policy))
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	model := cost.Default(spec)
+	if cfg.Cost != nil {
+		model = *cfg.Cost
+	}
+	k := kernel.New(spec, model, pol, kernel.Options{
+		UsePCID:         cfg.UsePCID,
+		Tickless:        cfg.Tickless,
+		CheckInvariants: cfg.CheckInvariants,
+		TraceLimit:      cfg.TraceLimit,
+		Seed:            seed,
+	})
+	s := &System{k: k}
+	if cfg.AutoNUMA != nil {
+		s.autonuma = numa.New(*cfg.AutoNUMA)
+		s.autonuma.Install(k)
+	}
+	if cfg.Swap != nil {
+		s.swapper = swap.New(*cfg.Swap)
+		s.swapper.Install(k)
+	}
+	return s
+}
+
+// Kernel exposes the underlying simulated OS.
+func (s *System) Kernel() *Kernel { return s.k }
+
+// NewProcess creates a process with a fresh address space; if AutoNUMA or
+// the swapper is installed the process is registered for scanning.
+func (s *System) NewProcess() *Process {
+	p := s.k.NewProcess()
+	if s.autonuma != nil {
+		s.autonuma.Register(p)
+	}
+	if s.swapper != nil {
+		s.swapper.Register(p)
+	}
+	return p
+}
+
+// RegisterAllForNUMA registers every existing process with the installed
+// AutoNUMA balancer — useful when a workload's Setup creates processes on
+// the kernel directly rather than through System.NewProcess. It is a
+// no-op without AutoNUMA; already-registered processes are skipped.
+func (s *System) RegisterAllForNUMA() {
+	for _, p := range s.k.Processes() {
+		if s.autonuma != nil {
+			s.autonuma.Register(p)
+		}
+		if s.swapper != nil {
+			s.swapper.Register(p)
+		}
+	}
+}
+
+// Run advances virtual time to the given deadline.
+func (s *System) Run(until Time) { s.k.Run(until) }
+
+// Now returns the current virtual time.
+func (s *System) Now() Time { return s.k.Now() }
+
+// Metrics returns the system's metric registry.
+func (s *System) Metrics() *Registry { return s.k.Metrics }
+
+// Trace returns the tracer (nil unless TraceLimit was set).
+func (s *System) Trace() *Tracer { return s.k.Tracer }
+
+// DefaultCost returns the calibrated latency model for a machine.
+func DefaultCost(spec MachineSpec) CostModel { return cost.Default(spec) }
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// ExperimentOptions sizes experiment runs.
+type ExperimentOptions = experiments.Options
+
+// Experiments lists every reproducible table/figure identifier.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure by id (e.g. "fig6",
+// "table5", "abl-transport").
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.ByID(id, o)
+}
+
+// RunAllExperiments regenerates the full evaluation in paper order.
+func RunAllExperiments(o ExperimentOptions) []*ExperimentTable {
+	return experiments.All(o)
+}
+
+// Fig2Timeline renders the Fig 2 munmap timelines (Linux, then LATR).
+func Fig2Timeline(o ExperimentOptions) string { return experiments.Fig2Timeline(o) }
+
+// Fig3Timeline renders the Fig 3 AutoNUMA timelines (Linux, then LATR).
+func Fig3Timeline(o ExperimentOptions) string { return experiments.Fig3Timeline(o) }
