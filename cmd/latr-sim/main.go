@@ -40,17 +40,20 @@ func parseMachine(s string) (latr.MachineSpec, error) {
 
 func main() {
 	var (
-		machine  = flag.String("machine", "2x8", "machine: 2x8, 8x15, or NxM sockets x cores")
-		policy   = flag.String("policy", "latr", "coherence policy: linux, latr, abis, barrelfish, instant")
-		wl       = flag.String("workload", "apache", "workload: micro, apache, nginx, parsec:<name>, graph500, pbzip2, metis, ocean, fluidanimate")
-		cores    = flag.Int("cores", 12, "worker cores")
-		pages    = flag.Int("pages", 1, "pages per op (micro)")
-		iters    = flag.Int("iters", 200, "iterations (micro)")
-		duration = flag.Duration("duration", 500*time.Millisecond, "simulated duration for server workloads")
-		numaOn   = flag.Bool("numa", false, "enable AutoNUMA balancing")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		check    = flag.Bool("check", false, "enable the TLB reuse-invariant checker")
-		dump     = flag.Bool("dump", true, "dump all metrics at the end")
+		machine   = flag.String("machine", "2x8", "machine: 2x8, 8x15, or NxM sockets x cores")
+		policy    = flag.String("policy", "latr", "coherence policy: linux, latr, abis, barrelfish, instant")
+		wl        = flag.String("workload", "apache", "workload: micro, apache, nginx, parsec:<name>, graph500, pbzip2, metis, ocean, fluidanimate")
+		cores     = flag.Int("cores", 12, "worker cores")
+		pages     = flag.Int("pages", 1, "pages per op (micro)")
+		iters     = flag.Int("iters", 200, "iterations (micro)")
+		duration  = flag.Duration("duration", 500*time.Millisecond, "simulated duration for server workloads")
+		numaOn    = flag.Bool("numa", false, "enable AutoNUMA balancing")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		check     = flag.Bool("check", false, "enable the TLB reuse-invariant checker")
+		dump      = flag.Bool("dump", true, "dump all metrics at the end")
+		audit     = flag.Bool("audit", false, "enable the coherence auditor (structured violations instead of panics)")
+		chaosProf = flag.String("chaos-profile", "", "inject faults from this chaos profile (implies -audit); one of: "+strings.Join(latr.ChaosProfiles(), ", "))
+		chaosSeed = flag.Uint64("chaos-seed", 0, "seed for the chaos fault schedule (default: -seed)")
 	)
 	flag.Parse()
 
@@ -64,12 +67,25 @@ func main() {
 		Policy:          latr.PolicyKind(*policy),
 		Seed:            *seed,
 		CheckInvariants: *check,
+		Audit:           *audit || *chaosProf != "",
 	}
 	if *numaOn {
 		cfg.AutoNUMA = &latr.AutoNUMAConfig{}
 	}
 	sys := latr.NewSystem(cfg)
 	k := sys.Kernel()
+	if *chaosProf != "" {
+		prof, err := latr.ChaosProfileByName(*chaosProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		latr.NewChaosInjector(cs, prof).Install(k)
+	}
 	cl := latr.CoreList(*cores)
 
 	var done func() bool = func() bool { return false }
@@ -131,5 +147,14 @@ func main() {
 		spec.Name, *policy, *wl, sys.Now())
 	if *dump {
 		fmt.Print(sys.Metrics().Dump())
+	}
+	if a := sys.Audit(); a != nil {
+		if a.Len() == 0 {
+			fmt.Println("audit: no coherence violations")
+		} else {
+			fmt.Printf("audit: %d distinct violation(s), %d total occurrence(s)\n%s",
+				a.Len(), a.Total(), a.Render())
+			os.Exit(2)
+		}
 	}
 }

@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"testing"
+
+	"latr/internal/sim"
+)
+
+// FuzzChaosSchedule fuzzes the fault schedule itself: arbitrary
+// probabilities and magnitudes (including degenerate all-on and all-off
+// corners) driving a short chaos run. Whatever the schedule, the run must
+// terminate without deadlock, and — since UnsafeReclaimProb stays zero —
+// the auditor must stay silent: no fault timing alone may break the
+// coherence invariants.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add(uint64(1), byte(20), byte(25), byte(30), byte(20), byte(40), byte(2), byte(2))
+	f.Add(uint64(7), byte(100), byte(0), byte(100), byte(0), byte(0), byte(0), byte(0))
+	f.Add(uint64(42), byte(0), byte(100), byte(0), byte(100), byte(100), byte(100), byte(1))
+	f.Fuzz(func(t *testing.T, seed uint64, drop, delay, suppress, ipi, stall, quiesce, depth byte) {
+		pct := func(b byte) float64 { return float64(b%101) / 100 }
+		prof := Profile{
+			Name:              "fuzz",
+			TickDropProb:      pct(drop),
+			TickDelayProb:     pct(delay),
+			TickDelayMax:      sim.Time(delay) * 20 * sim.Microsecond,
+			SweepSuppressProb: pct(suppress),
+			IPIDelayProb:      pct(ipi),
+			IPIDelayMax:       sim.Time(ipi) * sim.Microsecond,
+			ReclaimStallProb:  pct(stall),
+			ReclaimStallMax:   sim.Time(stall) * 50 * sim.Microsecond,
+			QuiesceProb:       pct(quiesce) / 10,
+			QuiesceMin:        sim.Millisecond,
+			QuiesceMax:        3 * sim.Millisecond,
+			QueueDepth:        int(depth % 9), // 0 = paper default, 1..8 = overflow pressure
+		}
+		r := Run(RunConfig{
+			Seed:           seed,
+			Profile:        prof,
+			Sockets:        2,
+			CoresPerSocket: 2,
+			Duration:       5 * sim.Millisecond,
+		})
+		if r.Deadlocked {
+			t.Fatalf("%v", r)
+		}
+		if len(r.Violations) != 0 {
+			t.Fatalf("fault timing alone broke coherence:\n%s", r.Report)
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"latr/internal/kernel"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 )
 
@@ -29,6 +30,17 @@ type Config struct {
 	ReclaimDelay sim.Time
 	// ReclaimPeriod is how often the background reclaim thread runs.
 	ReclaimPeriod sim.Time
+	// GateTimeout bounds how long a migration-gated fault (§4.4) may wait
+	// for its state to clear. Past the timeout the state is force-swept on
+	// behalf of the laggard cores — the escape hatch that keeps faults
+	// from hanging forever when sweeps stop arriving (quiesced cores,
+	// dropped ticks). Zero takes the 10 ms default.
+	GateTimeout sim.Time
+	// AuditLeakAge is the state age past which the coherence auditor (when
+	// the kernel runs with Options.Audit) flags an active state as leaked
+	// and its waiters as lost. Zero takes the 50 ms default — far beyond
+	// any legitimate sweep horizon (two tick periods).
+	AuditLeakAge sim.Time
 	// DisableTickSweep and DisableContextSwitchSweep turn off the sweep
 	// trigger points (both on in the paper; ablation knobs here).
 	DisableTickSweep          bool
@@ -41,19 +53,49 @@ func DefaultConfig() Config {
 		QueueDepth:    64,
 		ReclaimDelay:  2 * sim.Millisecond,
 		ReclaimPeriod: sim.Millisecond,
+		GateTimeout:   10 * sim.Millisecond,
+		AuditLeakAge:  50 * sim.Millisecond,
 	}
+}
+
+// Validate rejects nonsensical configurations. Zero fields are fine (they
+// take defaults); negative depths or durations have no meaning and, before
+// this check existed, silently broke the reclaim thread's self-scheduling.
+func (c Config) Validate() error {
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("latr: QueueDepth %d is negative", c.QueueDepth)
+	}
+	if c.ReclaimDelay < 0 {
+		return fmt.Errorf("latr: ReclaimDelay %v is negative", c.ReclaimDelay)
+	}
+	if c.ReclaimPeriod < 0 {
+		return fmt.Errorf("latr: ReclaimPeriod %v is negative", c.ReclaimPeriod)
+	}
+	if c.GateTimeout < 0 {
+		return fmt.Errorf("latr: GateTimeout %v is negative", c.GateTimeout)
+	}
+	if c.AuditLeakAge < 0 {
+		return fmt.Errorf("latr: AuditLeakAge %v is negative", c.AuditLeakAge)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
-	if c.QueueDepth == 0 {
+	if c.QueueDepth <= 0 {
 		c.QueueDepth = d.QueueDepth
 	}
-	if c.ReclaimDelay == 0 {
+	if c.ReclaimDelay <= 0 {
 		c.ReclaimDelay = d.ReclaimDelay
 	}
-	if c.ReclaimPeriod == 0 {
+	if c.ReclaimPeriod <= 0 {
 		c.ReclaimPeriod = d.ReclaimPeriod
+	}
+	if c.GateTimeout <= 0 {
+		c.GateTimeout = d.GateTimeout
+	}
+	if c.AuditLeakAge <= 0 {
+		c.AuditLeakAge = d.AuditLeakAge
 	}
 	return c
 }
@@ -74,6 +116,12 @@ type State struct {
 	waiters []func()
 
 	recordedAt sim.Time
+	// gen distinguishes successive occupants of a recycled slot, so a
+	// gate-timeout armed against one occupant never fires against the next.
+	gen uint64
+	// gateArmed marks that a forced-sweep timeout is already pending for
+	// this occupancy (one timer per state, however many faults gate on it).
+	gateArmed bool
 }
 
 // Policy is the LATR coherence policy.
@@ -109,12 +157,22 @@ func New(cfg Config) *Policy {
 // starts the background reclaim thread.
 func (p *Policy) Attach(k *kernel.Kernel) {
 	p.k = k
+	// Policies built by literal (bypassing New) may carry a zero or negative
+	// ReclaimPeriod; before this guard the reclaim thread either rescheduled
+	// itself at the same instant forever (period 0 — the engine never
+	// advanced past the first pass) or panicked in Engine.At (negative).
+	if p.cfg.ReclaimPeriod <= 0 || p.cfg.QueueDepth <= 0 {
+		p.cfg = p.cfg.withDefaults()
+	}
 	n := k.Spec.NumCores()
 	p.queues = make([][]State, n)
 	for i := range p.queues {
 		p.queues[i] = make([]State, p.cfg.QueueDepth)
 	}
 	k.Engine.At(p.cfg.ReclaimPeriod/2, p.reclaimPass)
+	if k.Audit != nil {
+		k.Engine.At(p.cfg.ReclaimPeriod, p.auditPass)
+	}
 }
 
 // Name implements kernel.Policy.
@@ -136,16 +194,26 @@ func (p *Policy) targetsMask(c *kernel.Core, mm *kernel.MM) topo.CoreMask {
 // slots are active (the fallback-IPI condition).
 func (p *Policy) record(c *kernel.Core, s State) (*State, bool) {
 	q := p.queues[c.ID]
+	free := -1
+	occupied := 0
 	for i := range q {
-		if !q[i].Active {
-			s.Active = true
-			s.recordedAt = p.k.Now()
-			q[i] = s
-			p.k.Metrics.Inc("latr.states_recorded", 1)
-			return &q[i], true
+		if q[i].Active {
+			occupied++
+		} else if free < 0 {
+			free = i
 		}
 	}
-	return nil, false
+	p.k.Metrics.Observe("latr.queue_occupancy", sim.Time(occupied))
+	if free < 0 {
+		p.k.Metrics.Inc("latr.queue_full", 1)
+		return nil, false
+	}
+	s.Active = true
+	s.recordedAt = p.k.Now()
+	s.gen = q[free].gen + 1
+	q[free] = s
+	p.k.Metrics.Inc("latr.states_recorded", 1)
+	return &q[free], true
 }
 
 // Munmap implements kernel.Policy — the lazy free path of Fig 2b: save the
@@ -169,6 +237,14 @@ func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 			} else {
 				k.Metrics.Inc("latr.fallback_ipi", 1)
 			}
+			// Backpressure accounting: the caller is stalled from here until
+			// every target ACKs. The fallback is deadlock-free by
+			// construction — completion depends only on IPI delivery and the
+			// targets' interrupt handlers, never on sweeps, ticks, or the
+			// reclaim thread, so no cycle back into the saturated queue can
+			// form (chaos may stretch the wait, not wedge it).
+			t0 := k.Now()
+			k.Metrics.GaugeAdd("latr.fallback_inflight", 1)
 			targets := k.ShootdownTargets(c, u.MM)
 			k.Metrics.Inc("shootdown.initiated", 1)
 			k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, func() {
@@ -178,6 +254,8 @@ func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 					if !u.KeepVMA {
 						k.ReleaseVA(u.MM, u.Start, u.Pages)
 					}
+					k.Metrics.GaugeAdd("latr.fallback_inflight", -1)
+					k.Metrics.Observe("latr.fallback_latency", k.Now()-t0)
 					done()
 				})
 			})
@@ -358,11 +436,58 @@ func (p *Policy) GateMigration(mm *kernel.MM, vpn pt.VPN, cont func()) bool {
 				vpn >= st.Start && vpn < st.Start+pt.VPN(st.Pages) {
 				st.waiters = append(st.waiters, cont)
 				p.k.Metrics.Inc("latr.migration_gated", 1)
+				p.armGateTimeout(st)
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// armGateTimeout schedules the escape hatch for a gated fault: if the
+// state is still active (same occupancy, by generation) when GateTimeout
+// elapses, the laggard cores' sweeps are performed on their behalf so the
+// waiters run. Without this, a quiesced or tick-starved core wedges every
+// fault gated on its bit forever.
+func (p *Policy) armGateTimeout(st *State) {
+	if st.gateArmed {
+		return
+	}
+	st.gateArmed = true
+	gen := st.gen
+	p.k.Engine.After(p.cfg.GateTimeout, func(sim.Time) {
+		if !st.Active || st.gen != gen {
+			return
+		}
+		p.k.Metrics.Inc("latr.gate_timeout_forced", 1)
+		p.forceSweep(st)
+	})
+}
+
+// forceSweep completes a state on behalf of every core still in its mask:
+// the deferred PTE ops run if no sweeping core got to them, each laggard
+// core's TLB drops the range (charged to that core as injected work), and
+// the state deactivates, releasing its waiters.
+func (p *Policy) forceSweep(st *State) {
+	k := p.k
+	m := &k.Cost
+	if st.Migration && !st.pteDone {
+		for i := 0; i < st.Pages; i++ {
+			st.MM.PT.SetNUMAHint(st.Start+pt.VPN(i), true)
+		}
+		st.pteDone = true
+	}
+	cores := st.Mask.Cores()
+	for _, id := range cores {
+		c := k.Cores[id]
+		c.TLB.InvalidateRange(c.PCIDOf(st.MM), st.Start, st.Start+pt.VPN(st.Pages))
+		c.Inject(m.LATRSweepPerEntry + sim.Time(st.Pages)*m.InvlpgLocal)
+		st.Mask.Clear(id)
+		k.Trace(id, "sweep", "forced invalidate [%#x,+%d) (gate timeout)", uint64(st.Start.Addr()), st.Pages)
+	}
+	if st.Mask.Empty() {
+		p.completeState(st)
+	}
 }
 
 // reclaimPass is the background reclaim thread (Fig 2b "Lazy reclaim"):
@@ -373,6 +498,18 @@ func (p *Policy) GateMigration(mm *kernel.MM, vpn pt.VPN, cont func()) bool {
 // rather than freed unsafely.
 func (p *Policy) reclaimPass(now sim.Time) {
 	k := p.k
+	inj := k.Injector()
+	if inj != nil {
+		if d := inj.ReclaimStall(); d > 0 {
+			// Chaos: the reclaim thread is descheduled for d. Lazy memory
+			// simply ages further — correctness never depends on the thread
+			// running promptly, only on it running after the delay.
+			k.Metrics.Inc("chaos.reclaim_stalled", 1)
+			k.Metrics.Observe("chaos.reclaim_stall", d)
+			k.Engine.At(now+d, p.reclaimPass)
+			return
+		}
+	}
 	defer k.Engine.At(now+p.cfg.ReclaimPeriod, p.reclaimPass)
 
 	keep := p.reclaim[:0]
@@ -383,10 +520,17 @@ func (p *Policy) reclaimPass(now sim.Time) {
 			continue
 		}
 		if e.state != nil && e.state.Active {
-			k.Metrics.Inc("latr.reclaim_deferred", 1)
-			e.deadline = now + p.cfg.ReclaimPeriod
-			keep = append(keep, e)
-			continue
+			if inj != nil && inj.UnsafeReclaim() {
+				// Chaos (negative tests only): deliberately free while the
+				// state is live, manufacturing the §4.2 violation so the
+				// auditor's detection can be proven.
+				k.Metrics.Inc("chaos.unsafe_reclaim", 1)
+			} else {
+				k.Metrics.Inc("latr.reclaim_deferred", 1)
+				e.deadline = now + p.cfg.ReclaimPeriod
+				keep = append(keep, e)
+				continue
+			}
 		}
 		k.ReleaseFrames(e.u.Frames)
 		if !e.u.KeepVMA {
@@ -405,6 +549,62 @@ func (p *Policy) reclaimPass(now sim.Time) {
 	if freed > 0 {
 		k.Metrics.Observe("latr.reclaim_batch", sim.Time(freed))
 	}
+}
+
+// auditPass is the coherence auditor's kernel-wide scan (runs only when
+// the kernel was built with Options.Audit): any state still active long
+// past every legitimate sweep horizon has leaked — some core will never
+// clear its bit — and every fault gated on it is lost. The auditor
+// dedups by (kind, core, vpn, pfn), so a long-lived leak reports once
+// with its first-occurrence time and then counts occurrences.
+func (p *Policy) auditPass(now sim.Time) {
+	k := p.k
+	defer k.Engine.At(now+p.cfg.ReclaimPeriod, p.auditPass)
+	for coreIdx := range p.queues {
+		q := p.queues[coreIdx]
+		for i := range q {
+			st := &q[i]
+			if !st.Active {
+				continue
+			}
+			age := now - st.recordedAt
+			if age <= p.cfg.AuditLeakAge {
+				continue
+			}
+			k.Metrics.Inc("audit.leaked_state", 1)
+			k.Audit.Report(tlb.Violation{
+				Kind: tlb.ViolationLeakedState,
+				Time: st.recordedAt,
+				Core: topo.CoreID(coreIdx),
+				VPN:  st.Start,
+				Detail: fmt.Sprintf("state [%#x,+%d) slot %d migration=%v mask=%v active for %v",
+					uint64(st.Start.Addr()), st.Pages, i, st.Migration, st.Mask, age),
+			})
+			if n := len(st.waiters); n > 0 {
+				k.Metrics.Inc("audit.lost_waiter", uint64(n))
+				k.Audit.Report(tlb.Violation{
+					Kind: tlb.ViolationLostWaiter,
+					Time: st.recordedAt,
+					Core: topo.CoreID(coreIdx),
+					VPN:  st.Start,
+					Detail: fmt.Sprintf("%d fault(s) gated on leaked state [%#x,+%d)",
+						n, uint64(st.Start.Addr()), st.Pages),
+				})
+			}
+		}
+	}
+}
+
+// PendingWaiters reports migration-gated faults not yet released (for
+// tests).
+func (p *Policy) PendingWaiters() int {
+	n := 0
+	for _, q := range p.queues {
+		for i := range q {
+			n += len(q[i].waiters)
+		}
+	}
+	return n
 }
 
 // PendingStates reports active states across all cores (for tests).

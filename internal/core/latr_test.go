@@ -371,3 +371,102 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal("default sweep triggers should be on")
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config should validate: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config should validate: %v", err)
+	}
+	bad := []Config{
+		{QueueDepth: -1},
+		{ReclaimDelay: -sim.Millisecond},
+		{ReclaimPeriod: -sim.Millisecond},
+		{GateTimeout: -sim.Millisecond},
+		{AuditLeakAge: -sim.Millisecond},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("Validate accepted %+v", c)
+		}
+	}
+}
+
+// TestAttachSurvivesBadReclaimPeriod regresses the reclaim-thread
+// scheduling fix: a Policy built by literal (bypassing New's defaulting)
+// with a zero or negative ReclaimPeriod used to wedge the event loop at
+// time zero or panic in Engine.At. Attach must clamp and the mechanism
+// must still reclaim.
+func TestAttachSurvivesBadReclaimPeriod(t *testing.T) {
+	for _, period := range []sim.Time{0, -sim.Millisecond} {
+		pol := &Policy{cfg: Config{ReclaimPeriod: period}}
+		spec := topo.Custom(2, 2)
+		spec.MemPerNodeBytes = 64 << 20
+		k := kernel.New(spec, cost.Default(spec), pol, kernel.Options{CheckInvariants: true, Seed: 7})
+		p := k.NewProcess()
+		p.Spawn(1, spin(8*sim.Millisecond))
+		p.Spawn(0, kernel.Script(
+			func(*kernel.Thread) kernel.Op {
+				return kernel.OpMmap{Pages: 2, Writable: true, Populate: true, Node: -1}
+			},
+			func(th *kernel.Thread) kernel.Op {
+				return kernel.OpMunmap{Addr: th.LastAddr, Pages: 2}
+			},
+		))
+		k.Run(20 * sim.Millisecond)
+		if got := pol.Config().ReclaimPeriod; got <= 0 {
+			t.Fatalf("period %v: Attach did not clamp ReclaimPeriod (got %v)", period, got)
+		}
+		if k.Metrics.Counter("latr.reclaimed") == 0 {
+			t.Fatalf("period %v: nothing reclaimed", period)
+		}
+	}
+}
+
+// TestGateTimeoutForcesSweep pins the migration-gate escape hatch: with
+// every sweep trigger disabled, a gated fault would wait forever — the
+// gate timeout must force the sweep, complete the state and release the
+// waiter.
+func TestGateTimeoutForcesSweep(t *testing.T) {
+	k, pol := latrKernel(Config{
+		DisableTickSweep:          true,
+		DisableContextSwitchSweep: true,
+		GateTimeout:               500 * sim.Microsecond,
+	})
+	p := k.NewProcess()
+	mm := p.MM
+	released := false
+	var base pt.VPN
+	p.Spawn(1, spin(20*sim.Millisecond))
+	p.Spawn(0, kernel.Script(
+		func(*kernel.Thread) kernel.Op {
+			return kernel.OpMmap{Pages: 1, Writable: true, Populate: true, Node: -1}
+		},
+		func(th *kernel.Thread) kernel.Op {
+			base = th.LastAddr
+			return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+				k.Policy().NUMAUnmap(c, mm, base, 1, done)
+			}}
+		},
+		func(*kernel.Thread) kernel.Op {
+			if !pol.GateMigration(mm, base, func() { released = true }) {
+				t.Error("GateMigration should defer while the state is active")
+			}
+			return kernel.OpCompute{D: 20 * sim.Millisecond}
+		},
+	))
+	k.Run(30 * sim.Millisecond)
+	if !released {
+		t.Fatal("gate timeout never released the waiter")
+	}
+	if k.Metrics.Counter("latr.gate_timeout_forced") == 0 {
+		t.Fatal("forced sweep not accounted")
+	}
+	if pol.PendingStates() != 0 {
+		t.Fatal("migration state never completed")
+	}
+	if pol.PendingWaiters() != 0 {
+		t.Fatal("waiters leaked")
+	}
+}

@@ -103,7 +103,15 @@ func (c *Core) handleFault(th *Thread, vpn pt.VPN, write bool, e pt.Entry, cont 
 			return
 		}
 		if err := mm.PT.Map(vpn, pfn, vma.Writable); err != nil {
-			panic(err)
+			// Mapping a page the re-check just said was absent failed: an
+			// inconsistency between the page table and the VA space. Fail
+			// the access structurally and return the unused frame.
+			k.Alloc.Put(pfn)
+			th.LastErr = c.internalErr("fault.map", err)
+			th.LastFault++
+			mm.Sem.ReleaseRead()
+			cont()
+			return
 		}
 		c.TLB.Insert(c.pcid(mm), vpn, pfn, vma.Writable)
 		k.Metrics.Inc("fault.demand", 1)

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"errors"
+
 	"latr/internal/mem"
 	"latr/internal/pt"
 	"latr/internal/sim"
@@ -38,13 +40,21 @@ func (c *Core) doFork(th *Thread) {
 		cmm := child.MM
 		cost := m.SyscallEntry + 2*m.VMAOp
 
+		// fail abandons the half-built child: the fork reports a structured
+		// error (the child process object is discarded, th.LastProc stays
+		// nil) rather than taking the whole simulation down.
+		fail := func(op string, err error) {
+			mm.Sem.ReleaseWrite()
+			c.failSyscall(th, c.internalErr(op, err))
+		}
 		shared := 0
 		for _, v := range mm.Space.VMAs() {
 			// Mirror the VMA layout: the child reserves the same ranges
 			// (its own address space is fresh, so identical addresses are
 			// available; fork semantics need matching VAs).
 			if err := cmm.Space.Insert(v); err != nil {
-				panic(err)
+				fail("fork.insert", err)
+				return
 			}
 			for vpn := v.Start; vpn < v.End; vpn++ {
 				if he, ok := mm.PT.GetHuge(vpn); ok && vpn == pt.HugeBase(vpn) {
@@ -54,7 +64,8 @@ func (c *Core) doFork(th *Thread) {
 						break
 					}
 					if err := cmm.PT.MapHuge(vpn, npfn, he.Writable); err != nil {
-						panic(err)
+						fail("fork.map_huge", err)
+						return
 					}
 					cost += sim.Time(pt.HugePages) * m.PageCopy / 8
 					vpn += pt.HugePages - 1
@@ -68,7 +79,9 @@ func (c *Core) doFork(th *Thread) {
 				// both sides.
 				k.Alloc.Get(e.PFN)
 				if err := cmm.PT.Map(vpn, e.PFN, false); err != nil {
-					panic(err)
+					k.Alloc.Put(e.PFN)
+					fail("fork.map", err)
+					return
 				}
 				if e.Writable {
 					mm.PT.SetProtection(vpn, false)
@@ -138,7 +151,14 @@ func (c *Core) breakCoW(th *Thread, vpn pt.VPN, cont func()) {
 		}
 		old, ok2 := mm.PT.Replace(vpn, npfn)
 		if !ok2 {
-			panic("kernel: CoW page vanished under mmap_sem")
+			// The CoW page vanished under mmap_sem: surface the fault as a
+			// structured error and give the private frame back.
+			k.Alloc.Put(npfn)
+			th.LastErr = c.internalErr("cow.replace", errors.New("page vanished under mmap_sem"))
+			th.LastFault++
+			mm.Sem.ReleaseRead()
+			cont()
+			return
 		}
 		mm.PT.SetProtection(vpn, true)
 		c.TLB.Invalidate(c.pcid(mm), vpn)

@@ -32,6 +32,11 @@ type Options struct {
 	// CheckInvariants enables the shadow TLB tracker and asserts the
 	// never-reuse-while-mapped invariant on every frame allocation.
 	CheckInvariants bool
+	// Audit enables the coherence auditor: the shadow tracker is turned on
+	// (implying CheckInvariants) and invariant breaches are recorded as
+	// structured violations on Kernel.Audit instead of panicking, so a
+	// chaos run completes and reports every breach with provenance.
+	Audit bool
 	// TraceLimit bounds recorded trace events (0 disables tracing).
 	TraceLimit int
 	// Seed feeds all kernel-side randomness.
@@ -46,6 +51,7 @@ type Kernel struct {
 	Cores   []*Core
 	Alloc   *mem.Allocator
 	Tracker *tlb.Tracker
+	Audit   *tlb.Auditor
 	Metrics *metrics.Registry
 	Tracer  *trace.Tracer
 	Rand    *sim.Rand
@@ -58,8 +64,9 @@ type Kernel struct {
 	nextTID  int
 	nextPCID tlb.PCID
 
-	numa NUMAHandler
-	swap SwapHandler
+	numa     NUMAHandler
+	swap     SwapHandler
+	injector FaultInjector
 
 	liveThreads int
 }
@@ -82,8 +89,11 @@ func New(spec topo.Spec, model cost.Model, pol Policy, opts Options) *Kernel {
 		policy:   pol,
 		nextPCID: 1,
 	}
-	if opts.CheckInvariants {
+	if opts.CheckInvariants || opts.Audit {
 		k.Tracker = tlb.NewTracker()
+	}
+	if opts.Audit {
+		k.Audit = tlb.NewAuditor(4096)
 	}
 	if opts.TraceLimit > 0 {
 		k.Tracer = trace.New(opts.TraceLimit)
@@ -273,9 +283,7 @@ func (k *Kernel) allocHugeFrame(node topo.NodeID) (mem.PFN, error) {
 	}
 	if k.Tracker != nil {
 		for i := 0; i < pt.HugePages; i++ {
-			if ierr := k.Tracker.AssertUnmapped(base + mem.PFN(i)); ierr != nil {
-				panic(fmt.Sprintf("kernel: TLB-coherence invariant violated: %v", ierr))
-			}
+			k.checkFrameReuse(base + mem.PFN(i))
 		}
 	}
 	return base, nil
@@ -289,11 +297,34 @@ func (k *Kernel) allocFrame(node topo.NodeID) (mem.PFN, error) {
 		return 0, err
 	}
 	if k.Tracker != nil {
-		if ierr := k.Tracker.AssertUnmapped(pfn); ierr != nil {
-			panic(fmt.Sprintf("kernel: TLB-coherence invariant violated: %v", ierr))
-		}
+		k.checkFrameReuse(pfn)
 	}
 	return pfn, nil
+}
+
+// checkFrameReuse enforces the never-reuse-while-mapped invariant on one
+// freshly allocated frame. Under the auditor the breach is recorded as a
+// structured violation (one per still-caching core, so the report names
+// every culprit); without it the simulation stops hard, as before.
+func (k *Kernel) checkFrameReuse(pfn mem.PFN) {
+	cores := k.Tracker.CachedOn(pfn)
+	if len(cores) == 0 {
+		return
+	}
+	if k.Audit == nil {
+		panic(fmt.Sprintf("kernel: TLB-coherence invariant violated: frame %d reused while still cached on cores %v", pfn, cores))
+	}
+	k.Metrics.Inc("audit.frame_reuse", 1)
+	for _, c := range cores {
+		k.Audit.Report(tlb.Violation{
+			Kind:   tlb.ViolationFrameReuse,
+			Time:   k.Now(),
+			Core:   c,
+			PFN:    pfn,
+			Detail: fmt.Sprintf("frame reallocated while cached on %d core(s)", len(cores)),
+		})
+	}
+	k.trace(cores[0], "audit", "frame %d reused while cached on %v", uint64(pfn), cores)
 }
 
 // Processes returns every process created so far (including kernel-thread

@@ -6,6 +6,7 @@ import (
 	"latr/internal/mem"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 	"latr/internal/vm"
 )
@@ -214,6 +215,25 @@ func (c *Core) touchPages(th *Thread, pages []pt.VPN, write bool, accesses int, 
 						k.Metrics.Inc("race.stale_write", 1)
 					} else {
 						k.Metrics.Inc("race.stale_read", 1)
+					}
+					// A stale access is benign while the frame sits on the
+					// lazy lists (refcount held); touching a frame already
+					// returned to the allocator is a coherence violation —
+					// the data belongs to nobody, or soon to someone else.
+					if k.Audit != nil && k.Alloc.Refs(line.PFN) == 0 {
+						k.Metrics.Inc("audit.stale_use", 1)
+						kind := "read"
+						if write {
+							kind = "write"
+						}
+						k.Audit.Report(tlb.Violation{
+							Kind:   tlb.ViolationStaleUse,
+							Time:   k.Now(),
+							Core:   c.ID,
+							VPN:    vpn,
+							PFN:    line.PFN,
+							Detail: fmt.Sprintf("stale %s through freed frame (mm %d)", kind, mm.ID),
+						})
 					}
 				}
 			}

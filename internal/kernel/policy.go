@@ -143,7 +143,9 @@ func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, tar
 	for _, t := range targets {
 		hops := k.Spec.Hops(c.ID, t.ID)
 		sendCost += m.IPISend(hops)
-		deliveries = append(deliveries, delivery{t, k.Now() + sendCost + m.IPIDeliverLatency(hops)})
+		// Chaos can stretch individual deliveries (interconnect congestion,
+		// slow APIC): the ACK spin-wait below absorbs the extra latency.
+		deliveries = append(deliveries, delivery{t, k.Now() + sendCost + m.IPIDeliverLatency(hops) + k.chaosIPIDelay(c.ID, t.ID)})
 	}
 
 	// Table 5's "single TLB shootdown in Linux" is the initiator-side work

@@ -47,7 +47,7 @@ func (c *Core) dispatch(th *Thread) {
 
 	// LATR sweeps at context switches *before* any PCID change so entries
 	// of the outgoing address space are covered (§4.5).
-	if hook := k.policy.OnContextSwitch(c); hook > 0 {
+	if hook := c.ctxSwitchHook(); hook > 0 {
 		k.Metrics.Observe("policy.ctxswitch_hook", hook)
 		c.busy(hook, false, func() { c.dispatch2(th) })
 		return
@@ -143,7 +143,7 @@ func (c *Core) goIdleOrDispatch() {
 		c.maybeDispatch()
 		return
 	}
-	if hook := c.k.policy.OnContextSwitch(c); hook > 0 {
+	if hook := c.ctxSwitchHook(); hook > 0 {
 		c.k.Metrics.Observe("policy.ctxswitch_hook", hook)
 	}
 	if c.curMM != nil {
@@ -175,8 +175,34 @@ func (c *Core) startTicks() {
 	c.k.Engine.At(c.k.Now()+phase, c.tick)
 }
 
+// ctxSwitchHook runs the policy's context-switch hook unless the chaos
+// injector suppresses this sweep.
+func (c *Core) ctxSwitchHook() sim.Time {
+	k := c.k
+	if inj := k.injector; inj != nil && inj.SuppressSweep(c) {
+		k.Metrics.Inc("chaos.sweep_suppressed", 1)
+		return 0
+	}
+	return k.policy.OnContextSwitch(c)
+}
+
 func (c *Core) tick(now sim.Time) {
 	k := c.k
+	if inj := k.injector; inj != nil {
+		// Chaos perturbation: drop this tick entirely (the next fires one
+		// period later) or postpone it. Both suppress the policy's tick
+		// sweep for this period — the delayed-invalidation scenario.
+		if drop, delay := inj.TickFault(c); drop {
+			k.Metrics.Inc("chaos.tick_dropped", 1)
+			k.Engine.At(now+k.Cost.SchedTickPeriod, c.tick)
+			return
+		} else if delay > 0 {
+			k.Metrics.Inc("chaos.tick_delayed", 1)
+			k.Metrics.Observe("chaos.tick_delay", delay)
+			k.Engine.At(now+delay, c.tick)
+			return
+		}
+	}
 	defer k.Engine.At(now+k.Cost.SchedTickPeriod, c.tick)
 
 	if k.Opts.Tickless && c.idle() && len(c.runq) == 0 {

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"errors"
+	"fmt"
 
 	"latr/internal/mem"
 	"latr/internal/pt"
@@ -15,7 +16,26 @@ var (
 	ErrNoMemory = errors.New("kernel: out of physical memory")
 	ErrNoVMA    = errors.New("kernel: address range not mapped")
 	ErrBadArg   = errors.New("kernel: invalid syscall argument")
+	// ErrInternal marks a kernel-state inconsistency detected on a
+	// user-reachable syscall/fault path (e.g. the VA allocator handing out
+	// an already-mapped range). The operation fails structurally — counted
+	// in metrics, visible in the trace, delivered via th.LastErr — instead
+	// of crashing the whole simulation, so long chaos runs survive and
+	// report. Match with errors.Is(err, ErrInternal).
+	ErrInternal = errors.New("kernel: internal inconsistency")
 )
+
+// internalErr builds the structured error for an unexpected inconsistency
+// on a user-reachable path and records it in metrics and the trace. True
+// invariant breaches in non-recoverable machinery (scheduler segment state,
+// refcounts, virtual time) still panic.
+func (c *Core) internalErr(op string, err error) error {
+	k := c.k
+	k.Metrics.Inc("error.internal", 1)
+	k.Metrics.Inc("error.internal."+op, 1)
+	k.trace(c.ID, "error", "%s: %v", op, err)
+	return fmt.Errorf("%w: %s: %v", ErrInternal, op, err)
+}
 
 func (c *Core) doMmap(th *Thread, o OpMmap) {
 	k := c.k
@@ -43,7 +63,10 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 			return
 		}
 		if err := mm.Space.Insert(vm.VMA{Start: start, End: start + pt.VPN(o.Pages), Writable: o.Writable, Kind: o.Kind}); err != nil {
-			panic(err) // Reserve handed out an overlapping range: internal bug
+			// Reserve handed out an overlapping range.
+			mm.Sem.ReleaseWrite()
+			c.failSyscall(th, c.internalErr("mmap.insert", err))
+			return
 		}
 		cost := m.SyscallEntry + m.VMAOp
 		node := k.Spec.NodeOf(c.ID)
@@ -61,7 +84,9 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 					return
 				}
 				if err := mm.PT.MapHuge(base, pfn, o.Writable); err != nil {
-					panic(err)
+					mm.Sem.ReleaseWrite()
+					c.failSyscall(th, c.internalErr("mmap.map_huge", err))
+					return
 				}
 			}
 			// Wiring one 2 MB mapping costs roughly one PMD entry plus the
@@ -77,7 +102,9 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 					return
 				}
 				if err := mm.PT.Map(start+pt.VPN(i), pfn, o.Writable); err != nil {
-					panic(err)
+					mm.Sem.ReleaseWrite()
+					c.failSyscall(th, c.internalErr("mmap.map", err))
+					return
 				}
 			}
 			cost += sim.Time(o.Pages) * m.MmapSetupPerPage
@@ -191,7 +218,12 @@ func (c *Core) doMprotect(th *Thread, o OpMprotect) {
 		for _, piece := range mm.Space.RemoveRange(o.Addr, o.Addr+pt.VPN(o.Pages)) {
 			piece.Writable = o.Writable
 			if err := mm.Space.Insert(piece); err != nil {
-				panic(err)
+				// Re-inserting a piece RemoveRange just handed back failed;
+				// the remaining pieces stay out of the space, which the
+				// structured error makes observable.
+				mm.Sem.ReleaseWrite()
+				c.failSyscall(th, c.internalErr("mprotect.insert", err))
+				return
 			}
 		}
 		changed := 0
@@ -243,13 +275,17 @@ func (c *Core) doMremap(th *Thread, o OpMremap) {
 		}
 		writable := removed[0].Writable
 		if err := mm.Space.Insert(vm.VMA{Start: newStart, End: newStart + pt.VPN(o.Pages), Writable: writable, Kind: removed[0].Kind}); err != nil {
-			panic(err)
+			mm.Sem.ReleaseWrite()
+			c.failSyscall(th, c.internalErr("mremap.insert", err))
+			return
 		}
 		moved := 0
 		for i := 0; i < o.Pages; i++ {
 			if old, ok := mm.PT.Unmap(o.Addr + pt.VPN(i)); ok {
 				if err := mm.PT.Map(newStart+pt.VPN(i), old.PFN, old.Writable); err != nil {
-					panic(err)
+					mm.Sem.ReleaseWrite()
+					c.failSyscall(th, c.internalErr("mremap.map", err))
+					return
 				}
 				moved++
 			}

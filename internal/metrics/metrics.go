@@ -5,6 +5,8 @@ package metrics
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/bits"
 	"sort"
 	"strings"
@@ -233,6 +235,16 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Fingerprint returns an FNV-1a hash of the full rendered dump — every
+// counter, gauge (with peak) and histogram summary. Determinism tests
+// compare fingerprints across seeded re-runs: any divergence in any
+// metric changes the hash.
+func (r *Registry) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, r.Dump())
+	return h.Sum64()
 }
 
 // Dump renders all metrics, one per line.

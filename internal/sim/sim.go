@@ -174,6 +174,30 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// Fingerprint summarises the engine's dynamic history — current time,
+// events scheduled, events dispatched — as one comparable value. Two runs
+// of the same deterministic model produce the same fingerprint; a single
+// event firing at a different instant or in a different order changes it.
+// Replay and determinism-regression tests compare fingerprints instead of
+// whole event logs.
+func (e *Engine) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037 // FNV-1a
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(e.now))
+	mix(e.seq)
+	mix(e.dispatched)
+	return h
+}
+
 // Stop halts the engine: Run/RunUntil/Step return immediately afterwards.
 func (e *Engine) Stop() { e.stopped = true }
 

@@ -1,0 +1,73 @@
+package tlb
+
+import (
+	"strings"
+	"testing"
+
+	"latr/internal/mem"
+	"latr/internal/pt"
+	"latr/internal/sim"
+)
+
+func TestAuditorDedupAndOrder(t *testing.T) {
+	a := NewAuditor(0)
+	v1 := Violation{Kind: ViolationStaleUse, Time: 10, Core: 1, VPN: pt.VPN(0x1000), PFN: mem.PFN(7), Detail: "first"}
+	v2 := Violation{Kind: ViolationFrameReuse, Time: 20, Core: 2, VPN: pt.VPN(0x2000), PFN: mem.PFN(9), Detail: "second"}
+	a.Report(v1)
+	a.Report(v2)
+	// Same (Kind, Core, VPN, PFN) key, later time: must dedup onto v1.
+	a.Report(Violation{Kind: ViolationStaleUse, Time: 99, Core: 1, VPN: pt.VPN(0x1000), PFN: mem.PFN(7), Detail: "repeat"})
+
+	if a.Len() != 2 || a.Total() != 3 {
+		t.Fatalf("Len=%d Total=%d, want 2/3", a.Len(), a.Total())
+	}
+	got := a.Violations()
+	if got[0].Kind != ViolationStaleUse || got[1].Kind != ViolationFrameReuse {
+		t.Fatalf("first-occurrence order lost: %v", got)
+	}
+	if got[0].Occurrences != 2 || got[0].Time != 10 || got[0].Detail != "first" {
+		t.Fatalf("dedup should keep the first occurrence and bump the count: %+v", got[0])
+	}
+	if a.CountKind(ViolationStaleUse) != 1 || a.CountKind(ViolationLostWaiter) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+	kinds := a.Kinds()
+	if len(kinds) != 2 || kinds[0] != ViolationFrameReuse || kinds[1] != ViolationStaleUse {
+		t.Fatalf("Kinds not sorted: %v", kinds)
+	}
+}
+
+func TestAuditorLimit(t *testing.T) {
+	a := NewAuditor(1)
+	a.Report(Violation{Kind: ViolationStaleUse, Core: 1, VPN: pt.VPN(0x1000)})
+	a.Report(Violation{Kind: ViolationStaleUse, Core: 2, VPN: pt.VPN(0x2000)})
+	a.Report(Violation{Kind: ViolationStaleUse, Core: 1, VPN: pt.VPN(0x1000)})
+	if a.Len() != 1 {
+		t.Fatalf("limit ignored: Len=%d", a.Len())
+	}
+	if a.Total() != 3 {
+		t.Fatalf("occurrence counting must continue past the limit: Total=%d", a.Total())
+	}
+	if a.Violations()[0].Occurrences != 2 {
+		t.Fatal("dedup must keep working past the limit")
+	}
+}
+
+func TestAuditorRenderStable(t *testing.T) {
+	build := func() *Auditor {
+		a := NewAuditor(0)
+		a.Report(Violation{Kind: ViolationLeakedState, Time: 5 * sim.Microsecond, Core: 3, VPN: pt.VPN(0x3000), Detail: "slot 7"})
+		a.Report(Violation{Kind: ViolationLostWaiter, Time: 6 * sim.Microsecond, Core: 0, VPN: pt.VPN(0x4000), Detail: "1 waiter"})
+		return a
+	}
+	r1, r2 := build().Render(), build().Render()
+	if r1 != r2 {
+		t.Fatalf("Render not deterministic:\n%q\nvs\n%q", r1, r2)
+	}
+	if !strings.Contains(r1, "leaked-state") || !strings.Contains(r1, "lost-waiter") {
+		t.Fatalf("Render missing kinds:\n%s", r1)
+	}
+	if strings.Index(r1, "leaked-state") > strings.Index(r1, "lost-waiter") {
+		t.Fatal("Render must keep first-occurrence order")
+	}
+}

@@ -4,6 +4,8 @@ package trace
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"strings"
 
@@ -69,6 +71,18 @@ func (t *Tracer) Filter(cats ...string) []Event {
 		}
 	}
 	return out
+}
+
+// Digest returns an FNV-1a hash of the rendered timeline. Two runs of the
+// same seeded simulation must produce identical digests — the comparison
+// determinism-regression tests make. A nil tracer digests to the empty
+// hash, so callers need not special-case tracing being off.
+func (t *Tracer) Digest() uint64 {
+	h := fnv.New64a()
+	if t != nil {
+		io.WriteString(h, t.Render())
+	}
+	return h.Sum64()
 }
 
 // Render formats the timeline one event per line, grouped visually per

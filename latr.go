@@ -34,6 +34,7 @@
 package latr
 
 import (
+	"latr/internal/chaos"
 	latrcore "latr/internal/core"
 	"latr/internal/cost"
 	"latr/internal/experiments"
@@ -44,6 +45,7 @@ import (
 	"latr/internal/shootdown"
 	"latr/internal/sim"
 	"latr/internal/swap"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 	"latr/internal/trace"
 	"latr/internal/vm"
@@ -180,6 +182,50 @@ func Loop(body func(th *Thread) Op) Program { return kernel.Loop(body) }
 // switches).
 type LATRConfig = latrcore.Config
 
+// Coherence auditing and deterministic fault injection, re-exported.
+type (
+	// Auditor collects structured coherence violations in audit mode.
+	Auditor = tlb.Auditor
+	// Violation is one structured audit finding.
+	Violation = tlb.Violation
+	// ViolationKind classifies a coherence-invariant breach.
+	ViolationKind = tlb.ViolationKind
+	// ChaosProfile parameterises a deterministic fault schedule.
+	ChaosProfile = chaos.Profile
+	// ChaosInjector implements the kernel's fault-injection hooks from a
+	// seeded schedule.
+	ChaosInjector = chaos.Injector
+	// ChaosRunConfig describes one self-contained chaos run.
+	ChaosRunConfig = chaos.RunConfig
+	// ChaosResult is what one chaos run reports.
+	ChaosResult = chaos.Result
+)
+
+// The audit layer's violation classes.
+const (
+	ViolationFrameReuse  = tlb.ViolationFrameReuse
+	ViolationStaleUse    = tlb.ViolationStaleUse
+	ViolationLeakedState = tlb.ViolationLeakedState
+	ViolationLostWaiter  = tlb.ViolationLostWaiter
+)
+
+// ChaosProfiles returns the built-in fault-profile names, sorted.
+func ChaosProfiles() []string { return chaos.Profiles() }
+
+// ChaosProfileByName looks up a built-in fault profile.
+func ChaosProfileByName(name string) (ChaosProfile, error) { return chaos.ProfileByName(name) }
+
+// NewChaosInjector returns a fault injector drawing its schedule from
+// seed; install it on a kernel with Install before running.
+func NewChaosInjector(seed uint64, prof ChaosProfile) *ChaosInjector {
+	return chaos.NewInjector(seed, prof)
+}
+
+// ChaosRun executes one seeded, self-contained chaos run (audit-mode LATR
+// kernel, fault schedule, bursty workload) and reports the outcome. Same
+// config, same Result, bit for bit.
+func ChaosRun(cfg ChaosRunConfig) ChaosResult { return chaos.Run(cfg) }
+
 // AutoNUMAConfig tunes the AutoNUMA balancer.
 type AutoNUMAConfig = numa.Config
 
@@ -207,6 +253,10 @@ type Config struct {
 	Tickless bool
 	// CheckInvariants enables the shadow-TLB reuse-invariant checker.
 	CheckInvariants bool
+	// Audit enables kernel-wide audit mode: coherence-invariant breaches
+	// are collected as structured violations (System.Audit) instead of
+	// panicking. Always on in chaos runs.
+	Audit bool
 	// TraceLimit enables event tracing, keeping at most this many events.
 	TraceLimit int
 	// Seed drives all simulation randomness (default 1).
@@ -257,6 +307,7 @@ func NewSystem(cfg Config) *System {
 		UsePCID:         cfg.UsePCID,
 		Tickless:        cfg.Tickless,
 		CheckInvariants: cfg.CheckInvariants,
+		Audit:           cfg.Audit,
 		TraceLimit:      cfg.TraceLimit,
 		Seed:            seed,
 	})
@@ -314,6 +365,9 @@ func (s *System) Metrics() *Registry { return s.k.Metrics }
 
 // Trace returns the tracer (nil unless TraceLimit was set).
 func (s *System) Trace() *Tracer { return s.k.Tracer }
+
+// Audit returns the coherence auditor (nil unless Config.Audit was set).
+func (s *System) Audit() *Auditor { return s.k.Audit }
 
 // DefaultCost returns the calibrated latency model for a machine.
 func DefaultCost(spec MachineSpec) CostModel { return cost.Default(spec) }
