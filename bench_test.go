@@ -8,9 +8,13 @@
 package latr_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"latr"
 )
@@ -216,6 +220,64 @@ func mustRun(b *testing.B, id string) *latr.ExperimentTable {
 		b.Fatal(err)
 	}
 	return t
+}
+
+// BenchmarkHarnessMatrix runs the default quick experiment matrix through
+// the parallel harness, sequentially and at several worker counts, verifies
+// the fingerprints agree, and writes the wall-clock baseline (including the
+// parallel speedup) to BENCH_harness.json so CI records the perf
+// trajectory. Speedup scales with available CPUs; on a 1-core box it stays
+// ~1x by construction.
+func BenchmarkHarnessMatrix(b *testing.B) {
+	m := latr.DefaultExperimentMatrix(true)
+	specs := m.Specs()
+	o := quickOpts()
+
+	type entry struct {
+		Workers int     `json:"workers"`
+		WallSec float64 `json:"wall_sec"`
+		Speedup float64 `json:"speedup"`
+	}
+	baseline := struct {
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Runs       int     `json:"runs"`
+		Entries    []entry `json:"entries"`
+	}{GOMAXPROCS: runtime.GOMAXPROCS(0), Runs: len(specs)}
+
+	var seq []latr.ExperimentRunResult
+	var seqWall float64
+	for _, workers := range []int{1, 2, 4} {
+		start := time.Now()
+		var res []latr.ExperimentRunResult
+		for i := 0; i < b.N; i++ {
+			res = latr.RunExperimentMatrix(specs, workers, o)
+		}
+		wall := time.Since(start).Seconds() / float64(b.N)
+		if workers == 1 {
+			seq, seqWall = res, wall
+		} else {
+			for i := range res {
+				if res[i].Fingerprint() != seq[i].Fingerprint() {
+					b.Fatalf("workers=%d: run %d diverged from sequential", workers, i)
+				}
+			}
+		}
+		speedup := seqWall / wall
+		baseline.Entries = append(baseline.Entries, entry{workers, wall, speedup})
+		b.ReportMetric(speedup, "speedup_w"+strconv.Itoa(workers))
+	}
+	for _, r := range seq {
+		if r.Err != "" {
+			b.Fatalf("matrix run failed: %s", r.Fingerprint())
+		}
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_harness.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkSimulatorEventThroughput measures the raw discrete-event engine

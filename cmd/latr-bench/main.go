@@ -8,12 +8,14 @@
 //	latr-bench -list                # list experiment ids
 //	latr-bench -quick               # smaller runs, same shapes
 //	latr-bench -ablations           # run the ablation studies
+//	latr-bench -parallel 8          # fan each experiment's runs across 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +30,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "also run the ablation studies")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		check     = flag.Bool("check", false, "enable the TLB reuse-invariant checker (slower)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for each experiment's independent runs (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -38,7 +41,7 @@ func main() {
 		return
 	}
 
-	o := latr.ExperimentOptions{Quick: *quick, Seed: *seed, CheckInvariants: *check}
+	o := latr.ExperimentOptions{Quick: *quick, Seed: *seed, CheckInvariants: *check, Workers: *parallel}
 
 	ids := latr.Experiments()
 	if *exp != "" {

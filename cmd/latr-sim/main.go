@@ -7,12 +7,19 @@
 //	latr-sim -policy latr -workload apache -cores 12 -duration 500ms
 //	latr-sim -policy linux -workload micro -cores 16 -pages 8
 //	latr-sim -machine 8x15 -policy latr -workload micro -cores 120
+//
+// Matrix mode fans a (policy × workload × seed × machine) sweep across a
+// worker pool, each run fully isolated, results in deterministic order:
+//
+//	latr-sim -matrix -parallel 4
+//	latr-sim -matrix -policies linux,latr -workloads micro,apache -seeds 1,2,3 -verify-seq
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -54,8 +61,33 @@ func main() {
 		audit     = flag.Bool("audit", false, "enable the coherence auditor (structured violations instead of panics)")
 		chaosProf = flag.String("chaos-profile", "", "inject faults from this chaos profile (implies -audit); one of: "+strings.Join(latr.ChaosProfiles(), ", "))
 		chaosSeed = flag.Uint64("chaos-seed", 0, "seed for the chaos fault schedule (default: -seed)")
+
+		matrix    = flag.Bool("matrix", false, "run a (policy x workload x seed x machine) matrix instead of a single scenario")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "matrix worker pool size (each run is fully isolated)")
+		policies  = flag.String("policies", "", "matrix: comma-separated policies (default: all)")
+		workloads = flag.String("workloads", "micro,apache,nginx,parsec:dedup", "matrix: comma-separated workloads")
+		machines  = flag.String("machines", "2x8", "matrix: comma-separated machine shapes")
+		seeds     = flag.String("seeds", "1,2", "matrix: comma-separated seeds")
+		verifySeq = flag.Bool("verify-seq", false, "matrix: re-run sequentially and fail unless all fingerprints are byte-identical")
 	)
 	flag.Parse()
+
+	if *matrix {
+		os.Exit(runMatrix(matrixFlags{
+			parallel:  *parallel,
+			policies:  *policies,
+			workloads: *workloads,
+			machines:  *machines,
+			seeds:     *seeds,
+			cores:     *cores,
+			pages:     *pages,
+			iters:     *iters,
+			duration:  latr.Time(duration.Nanoseconds()),
+			numa:      *numaOn,
+			check:     *check,
+			verifySeq: *verifySeq,
+		}))
+	}
 
 	spec, err := parseMachine(*machine)
 	if err != nil {
@@ -157,4 +189,92 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// matrixFlags carries the -matrix mode configuration.
+type matrixFlags struct {
+	parallel                             int
+	policies, workloads, machines, seeds string
+	cores, pages, iters                  int
+	duration                             latr.Time
+	numa, check, verifySeq               bool
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runMatrix executes the experiment matrix across the worker pool and
+// prints one fingerprint line per run, in deterministic matrix order.
+func runMatrix(f matrixFlags) int {
+	m := latr.ExperimentMatrix{
+		Policies:  splitList(f.policies),
+		Workloads: splitList(f.workloads),
+		Machines:  splitList(f.machines),
+		Cores:     f.cores,
+		Pages:     f.pages,
+		Iters:     f.iters,
+		Duration:  f.duration,
+		AutoNUMA:  f.numa,
+	}
+	if len(m.Policies) == 0 {
+		m.Policies = latr.PolicyNames()
+	}
+	for _, s := range splitList(f.seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", s, err)
+			return 1
+		}
+		m.Seeds = append(m.Seeds, v)
+	}
+	if len(m.Seeds) == 0 {
+		m.Seeds = []uint64{1}
+	}
+	specs := m.Specs()
+	o := latr.ExperimentOptions{CheckInvariants: f.check}
+
+	start := time.Now()
+	results := latr.RunExperimentMatrix(specs, f.parallel, o)
+	parWall := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		fmt.Println(r.Fingerprint())
+		if r.Err != "" {
+			failed++
+		}
+	}
+	fmt.Printf("matrix: %d runs, %d workers, wall %.2fs\n", len(results), f.parallel, parWall.Seconds())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "matrix: %d run(s) failed\n", failed)
+		return 1
+	}
+
+	if f.verifySeq {
+		start = time.Now()
+		seq := latr.RunExperimentMatrix(specs, 1, o)
+		seqWall := time.Since(start)
+		mismatches := 0
+		for i := range results {
+			if results[i].Fingerprint() != seq[i].Fingerprint() {
+				mismatches++
+				fmt.Fprintf(os.Stderr, "DIVERGED run %d:\n  par: %s\n  seq: %s\n",
+					i, results[i].Fingerprint(), seq[i].Fingerprint())
+			}
+		}
+		speedup := seqWall.Seconds() / parWall.Seconds()
+		fmt.Printf("verify-seq: sequential wall %.2fs, speedup %.2fx, mismatches %d\n",
+			seqWall.Seconds(), speedup, mismatches)
+		if mismatches > 0 {
+			return 1
+		}
+	}
+	return 0
 }

@@ -83,6 +83,7 @@ func (b *batching) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages 
 func (b *batching) OnTick(*kernel.Core) sim.Time                          { return 0 }
 func (b *batching) OnContextSwitch(*kernel.Core) sim.Time                 { return 0 }
 func (b *batching) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }
+func (b *batching) OnMMExit(*kernel.MM)                                   {}
 
 func measure(name string, pol latr.Policy, kind latr.PolicyKind) {
 	cfg := latr.Config{Machine: latr.TwoSocket16}

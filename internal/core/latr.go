@@ -181,13 +181,11 @@ func (p *Policy) Name() string { return "latr" }
 // Config returns the active configuration.
 func (p *Policy) Config() Config { return p.cfg }
 
-// targetsMask converts the kernel's shootdown target set to a bitmask.
+// targetsMask computes the shootdown target set as a bitmask. LATR only
+// needs set membership, so it uses the kernel's allocation-free mask variant
+// (same semantics as ShootdownTargets, including the lazy-TLB skip).
 func (p *Policy) targetsMask(c *kernel.Core, mm *kernel.MM) topo.CoreMask {
-	var mask topo.CoreMask
-	for _, t := range p.k.ShootdownTargets(c, mm) {
-		mask.Set(t.ID)
-	}
-	return mask
+	return p.k.ShootdownTargetMask(c, mm)
 }
 
 // record claims a free slot in core c's state array. ok is false when all
@@ -351,6 +349,14 @@ func (p *Policy) OnContextSwitch(c *kernel.Core) sim.Time {
 
 // OnPageTouch implements kernel.Policy.
 func (p *Policy) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }
+
+// OnMMExit implements kernel.Policy. LATR deliberately keeps its per-MM
+// references (pending states and reclaim entries) alive past exit: frames
+// are not reusable until their states are fully swept and the reclaim delay
+// elapses, so dropping them here would break the reuse invariant. Both sets
+// drain on their own within one sweep round / reclaim period, so nothing
+// accumulates across fork/exit churn.
+func (p *Policy) OnMMExit(*kernel.MM) {}
 
 // sweep scans all cores' state arrays on behalf of core c (§4.1
 // "Asynchronous remote shootdown"), invalidating c's TLB for every state

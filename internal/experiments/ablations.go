@@ -40,7 +40,12 @@ func AblationQueueDepth(o Options) *Table {
 		Columns: []string{"depth", "munmap mean", "fallback IPIs", "states recorded"},
 	}
 	bursts := o.scale(600, 150)
-	for _, depth := range []int{4, 16, 64, 256} {
+	depths := []int{4, 16, 64, 256}
+	type row struct {
+		mean             float64
+		fallback, states uint64
+	}
+	rows := fan(o.workers(), depths, func(_ int, depth int) row {
 		spec := topo.TwoSocket16()
 		k := kernel.New(spec, cost.Default(spec), latrcore.New(latrcore.Config{QueueDepth: depth}),
 			kernel.Options{Seed: o.Seed})
@@ -63,10 +68,17 @@ func AblationQueueDepth(o Options) *Table {
 			return kernel.OpMunmap{Addr: th.LastAddr, Pages: 1}
 		}))
 		k.Run(5 * sim.Second)
+		return row{
+			mean:     float64(k.Metrics.Hist("munmap.latency").Mean()),
+			fallback: k.Metrics.Counter("latr.fallback_ipi"),
+			states:   k.Metrics.Counter("latr.states_recorded"),
+		}
+	})
+	for i, depth := range depths {
 		t.AddRow(fmt.Sprintf("%d", depth),
-			fmtUS(float64(k.Metrics.Hist("munmap.latency").Mean())),
-			fmt.Sprintf("%d", k.Metrics.Counter("latr.fallback_ipi")),
-			fmt.Sprintf("%d", k.Metrics.Counter("latr.states_recorded")))
+			fmtUS(rows[i].mean),
+			fmt.Sprintf("%d", rows[i].fallback),
+			fmt.Sprintf("%d", rows[i].states))
 	}
 	t.Note("the paper fixes depth at 64; shallow queues push burst traffic onto the synchronous fallback path")
 	return t

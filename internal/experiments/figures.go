@@ -21,10 +21,16 @@ func Fig6(o Options) *Table {
 	}
 	iters := o.scale(250, 40)
 	spec := topo.TwoSocket16()
+	coresList := []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	rows := fan(o.workers(), coresList, func(_ int, cores int) [2]microResult {
+		return [2]microResult{
+			runMicro(spec, "linux", cores, 1, iters, o),
+			runMicro(spec, "latr", cores, 1, iters, o),
+		}
+	})
 	var last float64
-	for _, cores := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
-		lin := runMicro(spec, "linux", cores, 1, iters, o)
-		lat := runMicro(spec, "latr", cores, 1, iters, o)
+	for i, cores := range coresList {
+		lin, lat := rows[i][0], rows[i][1]
 		imp := 1 - lat.MunmapNS/lin.MunmapNS
 		last = imp
 		t.AddRow(fmt.Sprintf("%d", cores),
@@ -51,9 +57,15 @@ func Fig7(o Options) *Table {
 	}
 	iters := o.scale(60, 12)
 	spec := topo.EightSocket120()
-	for _, cores := range []int{15, 30, 45, 60, 75, 90, 105, 120} {
-		lin := runMicro(spec, "linux", cores, 1, iters, o)
-		lat := runMicro(spec, "latr", cores, 1, iters, o)
+	coresList := []int{15, 30, 45, 60, 75, 90, 105, 120}
+	rows := fan(o.workers(), coresList, func(_ int, cores int) [2]microResult {
+		return [2]microResult{
+			runMicro(spec, "linux", cores, 1, iters, o),
+			runMicro(spec, "latr", cores, 1, iters, o),
+		}
+	})
+	for i, cores := range coresList {
+		lin, lat := rows[i][0], rows[i][1]
 		t.AddRow(fmt.Sprintf("%d", cores),
 			fmtUS(lin.MunmapNS), fmtUS(lin.ShootdownNS),
 			fmtUS(lat.MunmapNS),
@@ -76,9 +88,15 @@ func Fig8(o Options) *Table {
 	}
 	iters := o.scale(120, 25)
 	spec := topo.TwoSocket16()
-	for _, pages := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
-		lin := runMicro(spec, "linux", 16, pages, iters, o)
-		lat := runMicro(spec, "latr", 16, pages, iters, o)
+	pagesList := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	rows := fan(o.workers(), pagesList, func(_ int, pages int) [2]microResult {
+		return [2]microResult{
+			runMicro(spec, "linux", 16, pages, iters, o),
+			runMicro(spec, "latr", 16, pages, iters, o),
+		}
+	})
+	for i, pages := range pagesList {
+		lin, lat := rows[i][0], rows[i][1]
 		t.AddRow(fmt.Sprintf("%d", pages),
 			fmtUS(lin.MunmapNS), fmtUS(lin.ShootdownNS),
 			fmtUS(lat.MunmapNS),
@@ -101,11 +119,26 @@ func Fig9(o Options) *Table {
 		Columns: []string{"cores", "linux req/s", "abis req/s", "latr req/s", "linux sd/s", "abis sd/s", "latr sd/s"},
 	}
 	dur := o.scaleT(500*sim.Millisecond, 120*sim.Millisecond)
+	coresList := []int{2, 4, 6, 8, 10, 12}
+	policies := []string{"linux", "abis", "latr"}
+	// Flatten (cores × policy) into independent jobs so a wide worker pool
+	// keeps every lane busy; rows are reassembled in matrix order below.
+	type job struct {
+		cores  int
+		policy string
+	}
+	jobs := make([]job, 0, len(coresList)*len(policies))
+	for _, cores := range coresList {
+		for _, p := range policies {
+			jobs = append(jobs, job{cores, p})
+		}
+	}
+	res := fan(o.workers(), jobs, func(_ int, j job) apacheResult {
+		return runApache(j.policy, j.cores, dur, o)
+	})
 	var linux12, abis12, latr12 float64
-	for _, cores := range []int{2, 4, 6, 8, 10, 12} {
-		lin := runApache("linux", cores, dur, o)
-		ab := runApache("abis", cores, dur, o)
-		lat := runApache("latr", cores, dur, o)
+	for i, cores := range coresList {
+		lin, ab, lat := res[3*i], res[3*i+1], res[3*i+2]
 		if cores == 12 {
 			linux12, abis12, latr12 = lin.ReqPerSec, ab.ReqPerSec, lat.ReqPerSec
 		}
@@ -131,9 +164,14 @@ func Fig10(o Options) *Table {
 	}
 	var sumRatio float64
 	suite := workload.ParsecSuite()
-	for _, prof := range suite {
-		lin := runParsec("linux", prof, 16, o)
-		lat := runParsec("latr", prof, 16, o)
+	rows := fan(o.workers(), suite, func(_ int, prof workload.ParsecProfile) [2]parsecResult {
+		return [2]parsecResult{
+			runParsec("linux", prof, 16, o),
+			runParsec("latr", prof, 16, o),
+		}
+	})
+	for i, prof := range suite {
+		lin, lat := rows[i][0], rows[i][1]
 		ratio := float64(lat.Runtime) / float64(lin.Runtime)
 		sumRatio += ratio
 		t.AddRow(prof.Name,
@@ -189,9 +227,14 @@ func Fig11(o Options) *Table {
 			return workload.NewMetis(workload.DefaultMetisConfig(cores))
 		}},
 	}
-	for _, e := range entries {
-		lin := runWithNUMA("linux", e.build, o)
-		lat := runWithNUMA("latr", e.build, o)
+	rows := fan(o.workers(), entries, func(_ int, e entry) [2]numaResult {
+		return [2]numaResult{
+			runWithNUMA("linux", e.build, o),
+			runWithNUMA("latr", e.build, o),
+		}
+	})
+	for i, e := range entries {
+		lin, lat := rows[i][0], rows[i][1]
 		ratio := float64(lat.Runtime) / float64(lin.Runtime)
 		t.AddRow(e.name,
 			fmtRate(lin.MigrationsPerSec),
@@ -215,30 +258,39 @@ func Fig12(o Options) *Table {
 	}
 	dur := o.scaleT(400*sim.Millisecond, 100*sim.Millisecond)
 
-	// Single-core servers: throughput ratio (higher is better).
-	nginxLin := runNginx("linux", 1, dur, o)
-	nginxLat := runNginx("latr", 1, dur, o)
-	t.AddRow("nginx_1", fmtRate(nginxLin.ShootdownPerSec),
-		fmt.Sprintf("%.3f", nginxLat.ReqPerSec/nginxLin.ReqPerSec),
-		fmtPct(nginxLat.ReqPerSec/nginxLin.ReqPerSec-1))
-	apLin := runApache("linux", 1, dur, o)
-	apLat := runApache("latr", 1, dur, o)
-	t.AddRow("apache_1", fmtRate(apLin.ShootdownPerSec),
-		fmt.Sprintf("%.3f", apLat.ReqPerSec/apLin.ReqPerSec),
-		fmtPct(apLat.ReqPerSec/apLin.ReqPerSec-1))
-
-	// Low-shootdown PARSEC subset at 16 cores: runtime ratio inverted into
-	// a performance ratio so higher is better, like the servers.
+	// Every Fig 12 row is a (linux, latr) pair; servers report throughput
+	// ratios, the low-shootdown PARSEC subset inverts runtime into a
+	// performance ratio so higher is better everywhere.
+	type row struct {
+		name string
+		run  func() (sdPerSec, perf float64)
+	}
+	server := func(name string, runSrv func(policy string, cores int, dur sim.Time, o Options) apacheResult) row {
+		return row{name, func() (float64, float64) {
+			lin := runSrv("linux", 1, dur, o)
+			lat := runSrv("latr", 1, dur, o)
+			return lin.ShootdownPerSec, lat.ReqPerSec / lin.ReqPerSec
+		}}
+	}
+	rowDefs := []row{server("nginx_1", runNginx), server("apache_1", runApache)}
 	for _, name := range []string{"bodytrack", "canneal", "facesim", "ferret", "streamcluster"} {
 		prof, ok := workload.ParsecProfileByName(name)
 		if !ok {
 			panic("missing profile " + name)
 		}
-		lin := runParsec("linux", prof, 16, o)
-		lat := runParsec("latr", prof, 16, o)
-		perf := float64(lin.Runtime) / float64(lat.Runtime)
-		t.AddRow(name+"_16", fmtRate(lin.ShootdownPerSec),
-			fmt.Sprintf("%.3f", perf), fmtPct(perf-1))
+		rowDefs = append(rowDefs, row{name + "_16", func() (float64, float64) {
+			lin := runParsec("linux", prof, 16, o)
+			lat := runParsec("latr", prof, 16, o)
+			return lin.ShootdownPerSec, float64(lin.Runtime) / float64(lat.Runtime)
+		}})
+	}
+	results := fan(o.workers(), rowDefs, func(_ int, r row) [2]float64 {
+		sd, perf := r.run()
+		return [2]float64{sd, perf}
+	})
+	for i, r := range rowDefs {
+		sd, perf := results[i][0], results[i][1]
+		t.AddRow(r.name, fmtRate(sd), fmt.Sprintf("%.3f", perf), fmtPct(perf-1))
 	}
 	t.Note("paper: worst case -1.7%% (canneal, context-switch sweeps); others within ±1%%")
 	return t

@@ -23,6 +23,21 @@ type Options struct {
 	CheckInvariants bool
 	// TraceLimit enables event tracing on the kernels built by runners.
 	TraceLimit int
+	// Workers sets the experiment-level fan-out: independent runs within a
+	// figure/table execute on up to Workers goroutines (each run still owns
+	// a private kernel). 0 or 1 means sequential; -1 means GOMAXPROCS.
+	// Output is identical for every value — only wall-clock time changes.
+	Workers int
+}
+
+// workers normalizes the fan-out width: 0 (the zero value) stays
+// sequential so existing callers are unaffected; negative asks fan for
+// GOMAXPROCS.
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // scale returns full for normal runs, quick in quick mode.

@@ -97,13 +97,20 @@ func Table4(o Options) *Table {
 	apache(6, 0.0160)
 	apache(12, 0.0123)
 
-	for _, name := range []string{"canneal", "dedup", "ferret", "streamcluster", "swaptions"} {
+	names := []string{"canneal", "dedup", "ferret", "streamcluster", "swaptions"}
+	rows := fan(o.workers(), names, func(_ int, name string) [2]parsecResult {
 		prof, ok := workload.ParsecProfileByName(name)
 		if !ok {
 			panic("missing profile " + name)
 		}
-		lin := runParsec("linux", prof, 16, o)
-		lat := runParsec("latr", prof, 16, o)
+		return [2]parsecResult{
+			runParsec("linux", prof, 16, o),
+			runParsec("latr", prof, 16, o),
+		}
+	})
+	for i, name := range names {
+		prof, _ := workload.ParsecProfileByName(name)
+		lin, lat := rows[i][0], rows[i][1]
 		model := cache.DefaultModel(prof.BaseLLCMiss)
 		lm := model.MissRatio(llcActivity(lin.Kernel, lin.Runtime))
 		tm := model.MissRatio(llcActivity(lat.Kernel, lat.Runtime))

@@ -38,7 +38,7 @@ type Core struct {
 	// running a segment (running==true), or spinning for shootdown ACKs.
 	running  bool
 	segEnd   sim.Time
-	segEvent *sim.Event
+	segEvent sim.Timer
 	segCont  func()
 	irqOff   bool
 	spinning bool
@@ -103,7 +103,7 @@ func (c *Core) busy(d sim.Time, irqOff bool, cont func()) {
 func (c *Core) segmentDone(now sim.Time) {
 	c.running = false
 	c.irqOff = false
-	c.segEvent = nil
+	c.segEvent = sim.Timer{}
 	cont := c.segCont
 	c.segCont = nil
 

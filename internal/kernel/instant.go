@@ -70,3 +70,6 @@ func (p *InstantPolicy) OnContextSwitch(*Core) sim.Time { return 0 }
 
 // OnPageTouch implements Policy.
 func (p *InstantPolicy) OnPageTouch(*Core, *MM, pt.VPN) sim.Time { return 0 }
+
+// OnMMExit implements Policy: the ideal policy keeps no per-MM state.
+func (p *InstantPolicy) OnMMExit(*MM) {}

@@ -267,11 +267,18 @@ func Loop(body func(th *Thread) Op) Program {
 	return ProgramFunc(func(_ sim.Time, th *Thread) Op { return body(th) })
 }
 
-// threadExited tears down accounting after a program returns nil.
+// threadExited tears down accounting after a program returns nil. When the
+// last thread of an address space exits, the policy gets an OnMMExit hook so
+// per-MM bookkeeping (ABIS sharer maps) is dropped instead of leaking
+// across fork/exit churn.
 func (k *Kernel) threadExited(c *Core, th *Thread) {
 	th.State = Done
-	th.Proc.MM.threads--
+	mm := th.Proc.MM
+	mm.threads--
 	k.liveThreads--
+	if mm.threads == 0 {
+		k.policy.OnMMExit(mm)
+	}
 }
 
 // allocHugeFrame allocates 512 contiguous frames, checking the reuse

@@ -432,6 +432,7 @@ func (b brokenPolicy) NUMAUnmap(c *Core, mm *MM, start pt.VPN, pages int, done f
 func (b brokenPolicy) OnTick(*Core) sim.Time                                            { return 0 }
 func (b brokenPolicy) OnContextSwitch(*Core) sim.Time                                   { return 0 }
 func (b brokenPolicy) OnPageTouch(*Core, *MM, pt.VPN) sim.Time                          { return 0 }
+func (b brokenPolicy) OnMMExit(*MM)                                                     {}
 
 func TestRWSemFIFOWriterPriority(t *testing.T) {
 	k := testKernel()

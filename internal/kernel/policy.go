@@ -66,6 +66,13 @@ type Policy interface {
 	// OnPageTouch observes a TLB fill on core c (ABIS sharer tracking);
 	// returns added cost.
 	OnPageTouch(c *Core, mm *MM, vpn pt.VPN) sim.Time
+
+	// OnMMExit runs when the last thread of mm exits. Policies that keep
+	// per-MM bookkeeping (ABIS sharer maps) must drop it here so long
+	// fork/exit churn cannot leak; stateless policies implement a no-op.
+	// The MM's pending unmaps (lazy reclaim, in-flight shootdowns) are NOT
+	// cancelled — only per-MM caches may be discarded.
+	OnMMExit(mm *MM)
 }
 
 // Attacher is implemented by policies that need the kernel reference.
@@ -116,6 +123,29 @@ func (k *Kernel) ShootdownTargets(self *Core, mm *MM) []*Core {
 	return targets
 }
 
+// ShootdownTargetMask is the allocation-free variant of ShootdownTargets:
+// the same target computation (including the lazy-TLB skip side effects)
+// returned as a value-type core mask instead of a heap slice. Policies that
+// only need set membership (LATR's per-core state masks) use this on their
+// hot path.
+func (k *Kernel) ShootdownTargetMask(self *Core, mm *MM) topo.CoreMask {
+	var mask topo.CoreMask
+	mm.CPUMask.ForEach(func(id topo.CoreID) {
+		c := k.Cores[id]
+		if c == self {
+			return
+		}
+		if c.idle() && c.lazyTLB {
+			c.deferredFlush = true
+			c.flushAllTLB()
+			k.Metrics.Inc("shootdown.lazy_skipped", 1)
+			return
+		}
+		mask.Set(id)
+	})
+	return mask
+}
+
 // SendShootdownIPIs implements the synchronous IPI protocol used by the
 // Linux baseline, by ABIS (with a narrower target set) and by LATR's
 // fallback path: serialized APIC sends, remote handler invalidations, and
@@ -139,7 +169,7 @@ func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, tar
 		core *Core
 		at   sim.Time
 	}
-	var deliveries []delivery
+	deliveries := make([]delivery, 0, len(targets))
 	for _, t := range targets {
 		hops := k.Spec.Hops(c.ID, t.ID)
 		sendCost += m.IPISend(hops)

@@ -28,7 +28,15 @@ type ABIS struct {
 	// is unusable in Amit's design (long-resident TLB entries past the
 	// tracking epoch, shared page tables).
 	unmaps uint64
+
+	// maskPool recycles per-VPN sharer masks: the touch/shootdown cycle
+	// retires masks constantly (sharerTargets deletes consumed entries), so
+	// reusing them keeps the tracking hot path allocation-free.
+	maskPool []*topo.CoreMask
 }
+
+// maxPooledMasks bounds maskPool; beyond it retired masks go to the GC.
+const maxPooledMasks = 4096
 
 // conservativeEvery controls how often ABIS distrusts its sharer sets.
 const conservativeEvery = 3
@@ -60,7 +68,7 @@ func (p *ABIS) OnPageTouch(c *kernel.Core, mm *kernel.MM, vpn pt.VPN) sim.Time {
 	}
 	mask := perMM[vpn]
 	if mask == nil {
-		mask = &topo.CoreMask{}
+		mask = p.getMask()
 		perMM[vpn] = mask
 	}
 	if mask.Has(c.ID) {
@@ -83,6 +91,7 @@ func (p *ABIS) sharerTargets(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages 
 		if mask := perMM[vpn]; mask != nil {
 			union = union.Or(*mask)
 			delete(perMM, vpn)
+			p.putMask(mask)
 		}
 	}
 	var out []*kernel.Core
@@ -170,3 +179,41 @@ func (p *ABIS) OnTick(*kernel.Core) sim.Time { return 0 }
 
 // OnContextSwitch implements kernel.Policy.
 func (p *ABIS) OnContextSwitch(*kernel.Core) sim.Time { return 0 }
+
+// OnMMExit implements kernel.Policy: drop the exited address space's sharer
+// tracking. Without this every fork/exit cycle left one permanent
+// map[VPN]*CoreMask behind (the MM pointer keys kept the whole table live),
+// so long-running churn workloads leaked without bound.
+func (p *ABIS) OnMMExit(mm *kernel.MM) {
+	perMM, ok := p.sharers[mm]
+	if !ok {
+		return
+	}
+	for vpn, mask := range perMM {
+		delete(perMM, vpn)
+		p.putMask(mask)
+	}
+	delete(p.sharers, mm)
+}
+
+// SharerMMs reports how many address spaces currently have sharer tracking
+// state — exported for the leak regression test.
+func (p *ABIS) SharerMMs() int { return len(p.sharers) }
+
+func (p *ABIS) getMask() *topo.CoreMask {
+	if n := len(p.maskPool) - 1; n >= 0 {
+		m := p.maskPool[n]
+		p.maskPool[n] = nil
+		p.maskPool = p.maskPool[:n]
+		return m
+	}
+	return &topo.CoreMask{}
+}
+
+func (p *ABIS) putMask(m *topo.CoreMask) {
+	if len(p.maskPool) >= maxPooledMasks {
+		return
+	}
+	*m = topo.CoreMask{}
+	p.maskPool = append(p.maskPool, m)
+}

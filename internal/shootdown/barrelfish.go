@@ -121,3 +121,7 @@ func (p *Barrelfish) OnContextSwitch(*kernel.Core) sim.Time { return 0 }
 
 // OnPageTouch implements kernel.Policy.
 func (p *Barrelfish) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }
+
+// OnMMExit implements kernel.Policy: the message transport keeps no per-MM
+// state (in-flight broadcasts reference cores, not address spaces).
+func (p *Barrelfish) OnMMExit(*kernel.MM) {}

@@ -101,3 +101,6 @@ func (p *Linux) OnContextSwitch(*kernel.Core) sim.Time { return 0 }
 
 // OnPageTouch implements kernel.Policy.
 func (p *Linux) OnPageTouch(*kernel.Core, *kernel.MM, pt.VPN) sim.Time { return 0 }
+
+// OnMMExit implements kernel.Policy: Linux keeps no per-MM policy state.
+func (p *Linux) OnMMExit(*kernel.MM) {}

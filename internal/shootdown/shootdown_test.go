@@ -266,3 +266,59 @@ func TestSyncChangeInvalidatesRemotes(t *testing.T) {
 		}
 	}
 }
+
+func TestABISSharerMapDrainsOnForkExitChurn(t *testing.T) {
+	// Regression test for the ABIS state leak: sharer tracking is keyed by
+	// *MM and was never deleted on process exit, so fork/exit churn grew the
+	// map without bound. OnMMExit must return it to empty.
+	pol := NewABIS()
+	k := newK(pol)
+
+	const procs = 6
+	for i := 0; i < procs; i++ {
+		p := k.NewProcess()
+		var base pt.VPN
+		home := topo.CoreID(i % 4)
+		peer := topo.CoreID((i + 1) % 4)
+		p.Spawn(home, kernel.Script(
+			func(*kernel.Thread) kernel.Op {
+				return kernel.OpMmap{Pages: 4, Writable: true, Populate: true, Node: -1}
+			},
+			func(th *kernel.Thread) kernel.Op {
+				base = th.LastAddr
+				return kernel.OpTouchRange{Start: base, Pages: 4}
+			},
+			func(*kernel.Thread) kernel.Op { return kernel.OpFork{} },
+			func(th *kernel.Thread) kernel.Op {
+				// The forked child touches the CoW range from another core so
+				// the child MM grows its own sharer entries, then exits.
+				if th.LastProc != nil {
+					th.LastProc.Spawn(peer, kernel.Script(
+						func(*kernel.Thread) kernel.Op {
+							return kernel.OpTouchRange{Start: base, Pages: 4}
+						},
+					))
+				}
+				return kernel.OpSleep{D: 100 * sim.Microsecond}
+			},
+		))
+		p.Spawn(peer, kernel.Script(
+			func(*kernel.Thread) kernel.Op { return kernel.OpSleep{D: 50 * sim.Microsecond} },
+			func(*kernel.Thread) kernel.Op { return kernel.OpTouchRange{Start: base, Pages: 4} },
+		))
+	}
+
+	// Mid-run the tracking state must exist, or the test is vacuous.
+	k.Run(80 * sim.Microsecond)
+	if pol.SharerMMs() == 0 {
+		t.Fatal("no sharer state mid-run; churn workload is not exercising ABIS tracking")
+	}
+	// Let every thread — parents and forked children — run to exit.
+	k.Run(30 * sim.Millisecond)
+	if got := pol.SharerMMs(); got != 0 {
+		t.Fatalf("sharer map retains %d MM entries after all processes exited (leak)", got)
+	}
+	if k.Metrics.Counter("abis.tracked") == 0 {
+		t.Fatal("no sharer tracking recorded")
+	}
+}

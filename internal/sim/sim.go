@@ -5,7 +5,9 @@
 // instant fire in the order they were scheduled, which makes every run fully
 // reproducible. Timers may be cancelled or rescheduled; cancellation is
 // implemented by invalidating the queued entry rather than removing it, so
-// all queue operations stay O(log n).
+// all queue operations stay O(log n). Cancelled entries are compacted away
+// once they dominate the queue, and event nodes are recycled through a
+// free list so steady-state dispatch allocates nothing.
 package sim
 
 import (
@@ -24,14 +26,20 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
-// String formats the time with an adaptive unit, e.g. "1.500ms".
+// String formats the time with an adaptive unit, e.g. "1.500ms". The unit is
+// chosen by magnitude, so negative values pick the same unit as their
+// absolute value (−1.5 ms is "-1.500ms", not "-1500000ns").
 func (t Time) String() string {
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
 	switch {
-	case t < Microsecond:
+	case abs < Microsecond:
 		return fmt.Sprintf("%dns", int64(t))
-	case t < Millisecond:
+	case abs < Millisecond:
 		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
-	case t < Second:
+	case abs < Second:
 		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
 	default:
 		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
@@ -44,18 +52,43 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros converts t to floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// Event is a scheduled callback. The callback runs exactly once unless the
-// event is cancelled first.
-type Event struct {
+// event is a queued callback. Nodes are recycled through the engine's free
+// list once dispatched or compacted away; gen distinguishes successive
+// occupants of the same node so stale Timer handles never act on the wrong
+// event.
+type event struct {
 	when  Time
 	seq   uint64
 	index int // heap index, -1 once popped
 	fn    func(now Time)
 	dead  bool
+	gen   uint32
 }
 
-// When reports the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// Timer is a cancellable handle to a scheduled callback. It is a small
+// value: copy it freely. The zero Timer is inert — Cancel and Reschedule on
+// it are safe no-ops — so callers can overwrite a field with Timer{} once an
+// event has served its purpose.
+type Timer struct {
+	ev  *event
+	gen uint32
+	fn  func(now Time)
+}
+
+// Pending reports whether the timer's event is still queued and live (not
+// yet fired, not cancelled).
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+}
+
+// When reports the virtual time the event is scheduled for, or -1 if the
+// timer is no longer pending.
+func (t Timer) When() Time {
+	if !t.Pending() {
+		return -1
+	}
+	return t.ev.when
+}
 
 // Engine is the event loop. The zero value is not usable; call NewEngine.
 type Engine struct {
@@ -64,9 +97,21 @@ type Engine struct {
 	queue   eventHeap
 	stopped bool
 
+	// dead counts cancelled entries still sitting in the queue; once they
+	// outnumber the live ones the heap is compacted.
+	dead int
+	// free recycles event nodes so the schedule/dispatch hot path does not
+	// allocate. Bounded: a burst can still fall back to the allocator.
+	free []*event
+
 	// Stats
 	dispatched uint64
 }
+
+// maxFreeEvents bounds the recycled-node pool. Beyond this the nodes are
+// surrendered to the garbage collector; the bound exists only so a single
+// pathological burst cannot pin memory forever.
+const maxFreeEvents = 1 << 14
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -79,24 +124,47 @@ func (e *Engine) Now() Time { return e.now }
 // Dispatched reports how many events have fired so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
+func (e *Engine) newEvent() *event {
+	if n := len(e.free) - 1; n >= 0 {
+		ev := e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a node to the free list. Bumping gen here invalidates
+// every outstanding Timer for the node's previous occupant.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	ev.index = -1
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // now) panics: it always indicates a modelling bug, and silently clamping
 // would hide it.
-func (e *Engine) At(t Time, fn func(now Time)) *Event {
+func (e *Engine) At(t Time, fn func(now Time)) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	ev := e.newEvent()
+	ev.when, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Timer{ev: ev, gen: ev.gen, fn: fn}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func(now Time)) *Event {
+func (e *Engine) After(d Time, fn func(now Time)) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -104,24 +172,58 @@ func (e *Engine) After(d Time, fn func(now Time)) *Event {
 }
 
 // Cancel invalidates a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op; Cancel reports whether the event was
-// still pending.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.dead || ev.index < 0 {
+// already-cancelled timer (or the zero Timer) is a no-op; Cancel reports
+// whether the event was still pending.
+func (e *Engine) Cancel(tm Timer) bool {
+	ev := tm.ev
+	if ev == nil || ev.gen != tm.gen || ev.dead {
 		return false
 	}
 	ev.dead = true
+	e.dead++
+	// Far-future timers that are repeatedly rescheduled (core segment
+	// deadlines, watchdogs) would otherwise accumulate as dead heap entries
+	// for the whole run; compact once they outnumber the live ones.
+	if e.dead > 32 && e.dead*2 > len(e.queue) {
+		e.compact()
+	}
 	return true
 }
 
-// Reschedule moves a pending event to a new absolute time, returning the
-// live event (the original is cancelled). If ev already fired, a fresh
-// event is scheduled anyway: callers use this for "extend the deadline"
-// patterns where the deadline must end up at t regardless.
-func (e *Engine) Reschedule(ev *Event, t Time) *Event {
-	fn := ev.fn
-	e.Cancel(ev)
-	return e.At(t, fn)
+// compact removes dead entries from the queue and re-establishes the heap
+// property. Ordering is preserved exactly: Less compares (when, seq) and
+// both survive compaction untouched.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.dead {
+			e.recycle(ev)
+		} else {
+			ev.index = len(live)
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.dead = 0
+	heap.Init(&e.queue)
+}
+
+// Reschedule moves a pending timer to a new absolute time, returning the
+// live timer (the original is cancelled). If tm already fired or was
+// cancelled, a fresh event running the same callback is scheduled anyway:
+// callers use this for "extend the deadline" patterns where the deadline
+// must end up at t regardless. A zero Timer carries no callback, so
+// rescheduling it is a no-op returning another zero Timer (it used to panic
+// deep in the event constructor).
+func (e *Engine) Reschedule(tm Timer, t Time) Timer {
+	e.Cancel(tm)
+	if tm.fn == nil {
+		return Timer{}
+	}
+	return e.At(t, tm.fn)
 }
 
 // Step dispatches the single next event. It reports false when the queue is
@@ -131,16 +233,23 @@ func (e *Engine) Step() bool {
 		if e.stopped || e.queue.Len() == 0 {
 			return false
 		}
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := heap.Pop(&e.queue).(*event)
 		if ev.dead {
+			e.dead--
+			e.recycle(ev)
 			continue
 		}
 		if ev.when < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = ev.when
+		when, fn := ev.when, ev.fn
+		// Recycle before running fn so nested At calls can reuse the node;
+		// any Timer still pointing here goes stale at the gen bump, exactly
+		// as a fired event should.
+		e.recycle(ev)
+		e.now = when
 		e.dispatched++
-		ev.fn(e.now)
+		fn(e.now)
 		return true
 	}
 }
@@ -162,6 +271,8 @@ func (e *Engine) RunUntil(deadline Time) {
 		next := e.queue[0]
 		if next.dead {
 			heap.Pop(&e.queue)
+			e.dead--
+			e.recycle(next)
 			continue
 		}
 		if next.when > deadline {
@@ -179,7 +290,8 @@ func (e *Engine) RunUntil(deadline Time) {
 // of the same deterministic model produce the same fingerprint; a single
 // event firing at a different instant or in a different order changes it.
 // Replay and determinism-regression tests compare fingerprints instead of
-// whole event logs.
+// whole event logs. Node recycling and heap compaction are invisible here:
+// they change neither seq nor the dispatch order.
 func (e *Engine) Fingerprint() uint64 {
 	const (
 		offset = 14695981039346656037 // FNV-1a
@@ -204,11 +316,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Pending reports the number of queued (possibly cancelled) events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending reports the number of live (non-cancelled) queued events.
+func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 
 // eventHeap orders events by (when, seq).
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 
@@ -226,7 +338,7 @@ func (h eventHeap) Swap(i, j int) {
 }
 
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }

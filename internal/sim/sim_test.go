@@ -11,10 +11,27 @@ func TestTimeString(t *testing.T) {
 		t    Time
 		want string
 	}{
+		{0, "0ns"},
 		{500, "500ns"},
+		{999, "999ns"},
+		{1000, "1.000us"},
 		{1500, "1.500us"},
+		{999999, "999.999us"},
+		{Millisecond, "1.000ms"},
 		{2 * Millisecond, "2.000ms"},
+		{Second - Microsecond, "999.999ms"},
+		{Second, "1.000000s"},
 		{3 * Second, "3.000000s"},
+		// Negative values must pick the unit of their magnitude: before the
+		// fix, every t < 0 matched the t < Microsecond branch and -1.5ms
+		// printed as "-1500000ns".
+		{-500, "-500ns"},
+		{-999, "-999ns"},
+		{-1000, "-1.000us"},
+		{-1500, "-1.500us"},
+		{-Millisecond - Millisecond/2, "-1.500ms"},
+		{-Second, "-1.000000s"},
+		{-3 * Second, "-3.000000s"},
 	}
 	for _, c := range cases {
 		if got := c.t.String(); got != c.want {
@@ -143,6 +160,191 @@ func TestEngineStop(t *testing.T) {
 	}
 	if !e.Stopped() {
 		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestEngineRescheduleZeroTimer(t *testing.T) {
+	e := NewEngine()
+	// Rescheduling the zero Timer must be a safe no-op (it used to panic on
+	// the nil callback): Core.segEvent starts life as a zero Timer.
+	tm := e.Reschedule(Timer{}, 25)
+	if tm.Pending() {
+		t.Fatal("rescheduled zero Timer claims to be pending")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after rescheduling zero Timer, want 0", e.Pending())
+	}
+	e.Run()
+}
+
+func TestEngineRescheduleAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.At(10, func(Time) { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Rescheduling a fired timer schedules the same callback afresh.
+	tm = e.Reschedule(tm, 30)
+	if !tm.Pending() {
+		t.Fatal("rescheduled-after-fire timer not pending")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after reschedule-after-fire, want 2", fired)
+	}
+}
+
+func TestEnginePendingCountsLiveOnly(t *testing.T) {
+	e := NewEngine()
+	var tms []Timer
+	for i := 0; i < 10; i++ {
+		tms = append(tms, e.At(Time(100+i), func(Time) {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for _, tm := range tms[:4] {
+		e.Cancel(tm)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d after 4 cancels, want 6", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+func TestEngineCompaction(t *testing.T) {
+	e := NewEngine()
+	// One far-future live event plus a large churn of cancelled ones: the
+	// queue must not retain the dead entries.
+	live := 0
+	e.At(1_000_000, func(Time) { live++ })
+	for i := 0; i < 10000; i++ {
+		tm := e.At(Time(500_000+i), func(Time) { t.Fatal("cancelled event fired") })
+		e.Cancel(tm)
+	}
+	if n := len(e.queue); n > 100 {
+		t.Fatalf("queue holds %d entries after cancel churn, want compacted (≤100)", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if live != 1 {
+		t.Fatalf("live event fired %d times, want 1", live)
+	}
+}
+
+func TestEngineCompactionPreservesOrder(t *testing.T) {
+	// Interleave live and cancelled events so that compaction must rebuild
+	// the heap mid-stream, then check FIFO-at-same-instant order holds.
+	e := NewEngine()
+	var order []int
+	next := 0
+	for i := 0; i < 500; i++ {
+		i := i
+		e.At(Time(10+i%7), func(Time) { order = append(order, i) })
+		for j := 0; j < 3; j++ {
+			e.Cancel(e.At(Time(1000+i), func(Time) {}))
+		}
+	}
+	e.Run()
+	if len(order) != 500 {
+		t.Fatalf("fired %d events, want 500", len(order))
+	}
+	// Reconstruct expected order: sorted by (when, insertion order).
+	byWhen := map[int][]int{}
+	for i := 0; i < 500; i++ {
+		w := 10 + i%7
+		byWhen[w] = append(byWhen[w], i)
+	}
+	for w := 10; w <= 16; w++ {
+		for _, want := range byWhen[w] {
+			if order[next] != want {
+				t.Fatalf("order[%d] = %d, want %d (compaction broke ordering)", next, order[next], want)
+			}
+			next++
+		}
+	}
+}
+
+func TestEngineStaleTimerAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm1 := e.At(10, func(Time) { fired++ })
+	e.Run()
+	// tm1's node has been recycled; schedule more events so the node is
+	// likely reused, then make sure tm1 cannot cancel its successor.
+	var tms []Timer
+	for i := 0; i < 8; i++ {
+		tms = append(tms, e.At(Time(20+i), func(Time) { fired++ }))
+	}
+	if tm1.Pending() {
+		t.Fatal("fired timer claims to be pending")
+	}
+	if e.Cancel(tm1) {
+		t.Fatal("stale Timer cancelled a recycled event")
+	}
+	if e.Pending() != 8 {
+		t.Fatalf("Pending = %d, want 8", e.Pending())
+	}
+	e.Run()
+	if fired != 9 {
+		t.Fatalf("fired = %d, want 9 (stale handle must not affect successors)", fired)
+	}
+}
+
+func TestEngineFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	// A steady-state dispatch loop must recycle nodes rather than grow the
+	// free list or the heap without bound.
+	var tick func(now Time)
+	n := 0
+	tick = func(now Time) {
+		n++
+		if n < 10000 {
+			e.After(3, tick)
+		}
+	}
+	e.After(3, tick)
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("ticks = %d, want 10000", n)
+	}
+	if len(e.free) > 4 {
+		t.Fatalf("free list holds %d nodes after a 1-deep tick chain, want ≤4", len(e.free))
+	}
+}
+
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := NewEngine()
+	var tick func(now Time)
+	tick = func(now Time) { e.After(5, tick) }
+	e.After(5, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineRescheduleChurn(b *testing.B) {
+	// Models the Core.segEvent pattern: one far-future deadline repeatedly
+	// pulled earlier, with a trickle of real events dispatching.
+	e := NewEngine()
+	var tick func(now Time)
+	tick = func(now Time) { e.After(50, tick) }
+	e.After(50, tick)
+	deadline := e.At(1<<40, func(Time) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deadline = e.Reschedule(deadline, e.Now()+1<<40)
+		e.Step()
 	}
 }
 

@@ -10,6 +10,11 @@ type lru struct {
 	items map[Key]*lruNode
 	head  *lruNode // most recent
 	tail  *lruNode // least recent
+	// free recycles nodes retired by remove/flush, chained through next.
+	// Invalidate-heavy policies (every shootdown removes lines) would
+	// otherwise allocate a node per refill; the list is naturally bounded by
+	// cap, the most nodes ever live at once.
+	free *lruNode
 }
 
 type lruNode struct {
@@ -47,12 +52,14 @@ func (c *lru) put(ln Line) (victim Line, evicted bool) {
 		return Line{}, false
 	}
 	if len(c.items) >= c.cap {
-		victim = c.tail.line
+		vn := c.tail
+		victim = vn.line
 		evicted = true
-		c.unlink(c.tail)
+		c.unlink(vn)
 		delete(c.items, victim.Key)
+		c.recycle(vn)
 	}
-	n := &lruNode{line: ln}
+	n := c.newNode(ln)
 	c.items[ln.Key] = n
 	c.pushFront(n)
 	return victim, evicted
@@ -66,7 +73,26 @@ func (c *lru) remove(k Key) (Line, bool) {
 	}
 	c.unlink(n)
 	delete(c.items, k)
-	return n.line, true
+	ln := n.line
+	c.recycle(n)
+	return ln, true
+}
+
+func (c *lru) newNode(ln Line) *lruNode {
+	if n := c.free; n != nil {
+		c.free = n.next
+		n.next = nil
+		n.line = ln
+		return n
+	}
+	return &lruNode{line: ln}
+}
+
+func (c *lru) recycle(n *lruNode) {
+	n.line = Line{}
+	n.prev = nil
+	n.next = c.free
+	c.free = n
 }
 
 // forEach visits every line, most recent first. The callback must not

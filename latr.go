@@ -392,6 +392,36 @@ func RunAllExperiments(o ExperimentOptions) []*ExperimentTable {
 	return experiments.All(o)
 }
 
+// PolicyNames lists the available coherence policies.
+func PolicyNames() []string { return experiments.PolicyNames() }
+
+// ExperimentRunSpec identifies one cell of the experiment matrix.
+type ExperimentRunSpec = experiments.RunSpec
+
+// ExperimentRunResult is the fingerprinted outcome of one matrix cell.
+type ExperimentRunResult = experiments.RunResult
+
+// ExperimentMatrix describes a (policy × workload × seed × topology) sweep.
+type ExperimentMatrix = experiments.Matrix
+
+// DefaultExperimentMatrix is the standard full-matrix sweep; quick shrinks
+// the simulated duration without changing the shape.
+func DefaultExperimentMatrix(quick bool) ExperimentMatrix {
+	return experiments.DefaultMatrix(quick)
+}
+
+// RunExperimentMatrix fans the specs across a worker pool (workers <= 0:
+// GOMAXPROCS) with every run fully isolated; results come back in matrix
+// order and are identical for every worker count.
+func RunExperimentMatrix(specs []ExperimentRunSpec, workers int, o ExperimentOptions) []ExperimentRunResult {
+	return experiments.RunMatrix(specs, workers, o)
+}
+
+// RunExperimentSpec executes a single matrix cell in isolation.
+func RunExperimentSpec(s ExperimentRunSpec, o ExperimentOptions) ExperimentRunResult {
+	return experiments.RunOne(s, o)
+}
+
 // Fig2Timeline renders the Fig 2 munmap timelines (Linux, then LATR).
 func Fig2Timeline(o ExperimentOptions) string { return experiments.Fig2Timeline(o) }
 
