@@ -13,6 +13,14 @@
 //
 //	latr-sim -matrix -parallel 4
 //	latr-sim -matrix -policies linux,latr -workloads micro,apache -seeds 1,2,3 -verify-seq
+//
+// Litmus mode runs the declarative TLB-coherence corpus under every policy
+// on both reference topologies and checks each run against the flat
+// reference model and the cross-policy comparator:
+//
+//	latr-sim -litmus
+//	latr-sim -litmus -litmus-gen 200 -policies linux,latr
+//	latr-sim -litmus -litmus-run reuse-after-shootdown -v
 package main
 
 import (
@@ -69,8 +77,37 @@ func main() {
 		machines  = flag.String("machines", "2x8", "matrix: comma-separated machine shapes")
 		seeds     = flag.String("seeds", "1,2", "matrix: comma-separated seeds")
 		verifySeq = flag.Bool("verify-seq", false, "matrix: re-run sequentially and fail unless all fingerprints are byte-identical")
+
+		litmusOn   = flag.Bool("litmus", false, "run the litmus corpus through the differential oracle instead of a workload")
+		litmusGen  = flag.Int("litmus-gen", 0, "litmus: also run this many generated scenarios")
+		litmusSeed = flag.Uint64("litmus-seed", 1000, "litmus: first seed for generated scenarios")
+		litmusRun  = flag.String("litmus-run", "", "litmus: run only this named handwritten scenario")
+		litmusCh   = flag.String("litmus-chaos", "", "litmus: comma-separated chaos profiles to cross in (safety checks only)")
+		verbose    = flag.Bool("v", false, "litmus: print one line per run")
 	)
 	flag.Parse()
+
+	if *litmusOn {
+		// -machines defaults to "2x8" for matrix mode; litmus mode crosses
+		// both reference topologies unless the flag was given explicitly.
+		litmusMachines := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "machines" {
+				litmusMachines = *machines
+			}
+		})
+		os.Exit(runLitmus(litmusFlags{
+			gen:      *litmusGen,
+			genSeed:  *litmusSeed,
+			only:     *litmusRun,
+			policies: *policies,
+			machines: litmusMachines,
+			chaos:    *litmusCh,
+			seed:     *seed,
+			parallel: *parallel,
+			verbose:  *verbose,
+		}))
+	}
 
 	if *matrix {
 		os.Exit(runMatrix(matrixFlags{
@@ -275,6 +312,60 @@ func runMatrix(f matrixFlags) int {
 		if mismatches > 0 {
 			return 1
 		}
+	}
+	return 0
+}
+
+// litmusFlags carries the -litmus mode configuration.
+type litmusFlags struct {
+	gen                             int
+	genSeed, seed                   uint64
+	only, policies, machines, chaos string
+	parallel                        int
+	verbose                         bool
+}
+
+// runLitmus executes the handwritten (and optionally generated) litmus
+// corpus through the differential oracle and reports PASS/FAIL.
+func runLitmus(f litmusFlags) int {
+	var scs []*latr.LitmusScenario
+	if f.only != "" {
+		sc := latr.LitmusScenarioByName(f.only)
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "unknown litmus scenario %q\n", f.only)
+			return 1
+		}
+		scs = []*latr.LitmusScenario{sc}
+	} else {
+		scs = latr.LitmusScenarios()
+	}
+	if f.gen > 0 {
+		scs = append(scs, latr.GenerateLitmus(f.genSeed, f.gen)...)
+	}
+	rep := latr.RunLitmusSuite(scs, latr.LitmusSuiteConfig{
+		Policies: splitList(f.policies),
+		Topos:    splitList(f.machines),
+		Chaos:    splitList(f.chaos),
+		Seed:     f.seed,
+		Workers:  f.parallel,
+	})
+	if f.verbose {
+		for i := range rep.Outcomes {
+			o := &rep.Outcomes[i]
+			switch {
+			case o.Skipped:
+				fmt.Printf("SKIP %s\n", o.Key())
+			case len(o.Failures) > 0:
+				fmt.Printf("FAIL %s (%d failure(s))\n", o.Key(), len(o.Failures))
+			default:
+				fmt.Printf("ok   %s\n", o.Key())
+			}
+		}
+	}
+	fmt.Println(rep.Summary())
+	if rep.Failed() {
+		fmt.Print(rep.RenderFailures(20))
+		return 1
 	}
 	return 0
 }

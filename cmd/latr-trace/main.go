@@ -11,24 +11,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"latr"
 )
 
-func main() {
-	scenario := flag.String("scenario", "munmap", "scenario: munmap (Fig 2) or autonuma (Fig 3)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	flag.Parse()
+// run is the testable body of the command: it parses args, writes the
+// timeline to stdout, and returns the process exit code.
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("latr-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "munmap", "scenario: munmap (Fig 2) or autonuma (Fig 3)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	o := latr.ExperimentOptions{Quick: true, Seed: *seed}
 	switch *scenario {
 	case "munmap":
-		fmt.Print(latr.Fig2Timeline(o))
+		fmt.Fprint(stdout, latr.Fig2Timeline(o))
 	case "autonuma":
-		fmt.Print(latr.Fig3Timeline(o))
+		fmt.Fprint(stdout, latr.Fig3Timeline(o))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (want munmap or autonuma)\n", *scenario)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown scenario %q (want munmap or autonuma)\n", *scenario)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
 }

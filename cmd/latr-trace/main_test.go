@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden timeline files")
+
+// TestGoldenTimelines pins the exact byte output of both scenarios: the
+// timelines are rendered from the deterministic simulator, so any drift is
+// either a real behaviour change (update the goldens deliberately with
+// `go test ./cmd/latr-trace -update`) or a lost-determinism bug.
+func TestGoldenTimelines(t *testing.T) {
+	for _, scenario := range []string{"munmap", "autonuma"} {
+		t.Run(scenario, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(&out, &errOut, []string{"-scenario", scenario}); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+			}
+			golden := filepath.Join("testdata", scenario+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("%s timeline drifted from golden (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					scenario, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestSeedChangesTimeline: the -seed flag must actually reach the
+// simulation (a timeline identical across seeds would mean the flag is
+// wired to nothing).
+func TestSeedChangesTimeline(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	if code := run(&a, &errOut, []string{"-scenario", "munmap", "-seed", "1"}); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if code := run(&b, &errOut, []string{"-scenario", "munmap", "-seed", "1"}); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different timelines")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, []string{"-scenario", "nope"}); code != 1 {
+		t.Errorf("unknown scenario: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown scenario") {
+		t.Errorf("stderr %q", errOut.String())
+	}
+	errOut.Reset()
+	if code := run(&out, &errOut, []string{"-definitely-not-a-flag"}); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -126,6 +126,31 @@ func TestDifferentialRandomStreams(t *testing.T) {
 	}
 }
 
+// FuzzLitmusDifferential feeds arbitrary bytes through the litmus scenario
+// grammar (LitmusFromBytes keeps every derived scenario race-free, so the
+// exact oracle applies) and runs the result under Linux and LATR: each run
+// must match the flat reference model, the two policies must agree on the
+// region-relative final state, and — implicitly, via the always-on audit
+// mode — no coherence invariant may break.
+func FuzzLitmusDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 3, 0, 0, 2, 0, 0, 1, 16, 0, 0, 4})
+	f.Add([]byte{2, 1, 7, 1, 1, 5, 11, 2, 3, 13, 0, 2, 16, 3, 1, 9, 4, 2, 255, 0, 8})
+	f.Add([]byte("litmus is not parsed here, just raw entropy"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := latr.LitmusFromBytes(data)
+		rep := latr.RunLitmusSuite([]*latr.LitmusScenario{sc}, latr.LitmusSuiteConfig{
+			Policies: []string{"linux", "latr"},
+			Topos:    []string{"2x8"},
+			Seed:     7,
+			Workers:  1,
+		})
+		if rep.Failed() {
+			t.Fatalf("differential oracle failed:\n%s\nscenario:\n%s", rep.RenderFailures(0), sc)
+		}
+	})
+}
+
 // newSplitmix returns a splitmix64 generator local to the test, so the
 // streams stay stable across Go releases.
 func newSplitmix(seed uint64) func() uint64 {

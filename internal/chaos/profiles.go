@@ -97,6 +97,20 @@ var profiles = map[string]Profile{
 		IPIDelayProb:  0.10,
 		IPIDelayMax:   30 * sim.Microsecond,
 	},
+	// jitter is the light positive profile: mild, uncorrelated delays on
+	// every channel at once — the "slightly unhealthy machine" baseline the
+	// litmus suite runs under to shake out schedule-dependent assumptions
+	// without starving any mechanism outright.
+	"jitter": {
+		Name:             "jitter",
+		TickDropProb:     0.02,
+		TickDelayProb:    0.10,
+		TickDelayMax:     200 * sim.Microsecond,
+		IPIDelayProb:     0.05,
+		IPIDelayMax:      10 * sim.Microsecond,
+		ReclaimStallProb: 0.05,
+		ReclaimStallMax:  500 * sim.Microsecond,
+	},
 	// unsafe-reclaim is the negative profile: it breaks the §4.2 safety
 	// check on purpose — the sweep machinery is dead (every tick dropped,
 	// every context-switch sweep suppressed) while a shortened reclaim

@@ -74,6 +74,61 @@ func TestLargeNUMAScaling(t *testing.T) {
 	}
 }
 
+// shootdownEstimate is the closed-form cost of one full-fanout shootdown
+// from core 0: serialized ICR writes to every other core, then the wire
+// latency + handler + invalidation + ACK of the farthest target.
+func shootdownEstimate(spec topo.Spec, m Model) sim.Time {
+	var send sim.Time
+	maxHop := 0
+	for c := 1; c < spec.NumCores(); c++ {
+		h := spec.Hops(0, topo.CoreID(c))
+		send += m.IPISend(h)
+		if h > maxHop {
+			maxHop = h
+		}
+	}
+	lastAck := m.IPIDeliverLatency(maxHop) + m.IPIHandlerEntry + m.InvlpgLocal + m.IPIAckWrite
+	return m.IPISendBase + send + lastAck
+}
+
+// TestPaperAnchorTable pins every calibration constant (and the two
+// closed-form shootdown estimates built from them) to the measurement in
+// the paper that anchors it: Table 5's ns-level LATR costs, §1/§6's IPI
+// delivery latencies, and Fig 6/7's end-to-end shootdown costs at 16 and
+// 120 cores. Ranges are deliberately loose — the experiments only rely on
+// relative behaviour — but a constant drifting out of its anchor's decade
+// would silently invalidate the reproduction.
+func TestPaperAnchorTable(t *testing.T) {
+	small := Default(topo.TwoSocket16())
+	large := Default(topo.EightSocket120())
+	cases := []struct {
+		name   string
+		anchor string // the paper measurement this pins
+		got    sim.Time
+		lo, hi sim.Time
+	}{
+		{"latr-state-save", "Table 5: 132.3 ns", small.LATRStateSave, 100, 170},
+		{"latr-sweep-entry", "Table 5: 158.0 ns", small.LATRSweepPerEntry, 120, 200},
+		{"ipi-1hop", "§1: 2.7 µs cross-socket", small.IPIDeliverLatency(1), 2700, 2700},
+		{"ipi-2hop", "§1: 6.6 µs two-hop", small.IPIDeliverLatency(2), 6600, 6600},
+		{"shootdown-16core", "Fig 6: ~6 µs at 16 cores", shootdownEstimate(topo.TwoSocket16(), small), 4500, 9000},
+		{"shootdown-120core", "Fig 7: ~80 µs at 120 cores", shootdownEstimate(topo.EightSocket120(), large), 55000, 110000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got < tc.lo || tc.got > tc.hi {
+				t.Errorf("%s = %dns, outside [%d, %d] (%s)", tc.name, tc.got, tc.lo, tc.hi, tc.anchor)
+			}
+		})
+	}
+	// Fig 7's superlinearity: the 120-core shootdown must cost an order of
+	// magnitude more than the 16-core one, not merely scale with fanout.
+	r16, r120 := shootdownEstimate(topo.TwoSocket16(), small), shootdownEstimate(topo.EightSocket120(), large)
+	if r120 < 8*r16 {
+		t.Errorf("120-core shootdown (%dns) should dwarf 16-core (%dns)", r120, r16)
+	}
+}
+
 func TestFig6Arithmetic(t *testing.T) {
 	// Sanity-check the closed-form shootdown cost at 16 cores against the
 	// paper's ~6us (Fig 6): send to 7 same-socket + 8 cross-socket targets,

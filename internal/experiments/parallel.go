@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"latr/internal/cost"
+	fanpool "latr/internal/fan"
 	"latr/internal/kernel"
 	"latr/internal/numa"
 	"latr/internal/sim"
@@ -23,41 +22,10 @@ import (
 // sequential execution.
 
 // fan executes run(i, items[i]) for every item across a pool of workers,
-// returning results in input order. workers <= 0 means GOMAXPROCS; workers
-// is clamped to len(items); one worker (or one item) degenerates to the
-// plain sequential loop, which is the reference the determinism tests
-// compare against.
+// returning results in input order; it is the internal/fan pool, which the
+// litmus runner shares. See fan.Run for the worker-count semantics.
 func fan[T, R any](workers int, items []T, run func(int, T) R) []R {
-	out := make([]R, len(items))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	if workers <= 1 {
-		for i, it := range items {
-			out[i] = run(i, it)
-		}
-		return out
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = run(i, items[i])
-			}
-		}()
-	}
-	for i := range items {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return out
+	return fanpool.Run(workers, items, run)
 }
 
 // MachineNames lists the matrix-harness machine shapes.

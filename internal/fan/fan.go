@@ -1,0 +1,48 @@
+// Package fan provides the order-preserving worker pool shared by the
+// parallel experiment harness and the litmus-test runner. Every task owns
+// its state and shares nothing mutable, so pools of any size produce
+// byte-identical results to a sequential execution.
+package fan
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run executes run(i, items[i]) for every item across a pool of workers,
+// returning results in input order. workers <= 0 means GOMAXPROCS; workers
+// is clamped to len(items); one worker (or one item) degenerates to the
+// plain sequential loop, which is the reference the determinism tests
+// compare against.
+func Run[T, R any](workers int, items []T, run func(int, T) R) []R {
+	out := make([]R, len(items))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = run(i, it)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = run(i, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

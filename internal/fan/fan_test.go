@@ -1,0 +1,41 @@
+package fan
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunOrderAndCompleteness: results land at their input index for every
+// pool width, including the sequential degenerate cases, and every item
+// runs exactly once.
+func TestRunOrderAndCompleteness(t *testing.T) {
+	items := make([]int, 57)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64, 1000} {
+		var calls atomic.Int64
+		out := Run(workers, items, func(i, v int) int {
+			calls.Add(1)
+			if v != i*3 {
+				t.Errorf("workers=%d: run(%d, %d), want item %d", workers, i, v, i*3)
+			}
+			return v + 1
+		})
+		if int(calls.Load()) != len(items) {
+			t.Errorf("workers=%d: %d calls, want %d", workers, calls.Load(), len(items))
+		}
+		for i, r := range out {
+			if r != i*3+1 {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, r, i*3+1)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out := Run(4, nil, func(i int, v struct{}) int { return 0 })
+	if len(out) != 0 {
+		t.Fatalf("got %d results for no items", len(out))
+	}
+}

@@ -1,0 +1,215 @@
+package litmus
+
+import (
+	"fmt"
+
+	"latr/internal/sim"
+)
+
+// The randomized-scenario generator. Generated scenarios are race-free by
+// construction — every region is owned by exactly one thread, so op order
+// on any region is program order and the reference model's prediction is
+// interleaving-independent (coherence traffic is still shared: all threads
+// live in one process, so every munmap/mprotect shoots down every sibling
+// core). That is what lets 200 seeds × 4 policies × 2 topologies assert
+// byte-identical region-relative outcomes rather than mere crash-freedom.
+//
+// Ops are drawn within region bounds, so scenarios always Validate; they
+// may still legitimately fail syscalls (munmap of a fully-holed region is
+// ErrNoVMA), which the model predicts exactly.
+
+// Generate builds the deterministic scenario for one seed.
+func Generate(seed uint64) *Scenario {
+	r := sim.NewRand(seed ^ 0x9e3779b97f4a7c15)
+	sc := &Scenario{Name: fmt.Sprintf("gen-%016x", seed)}
+
+	nThreads := 2 + r.Intn(2)
+	cores := r.Perm(16)[:nThreads]
+	for ti := 0; ti < nThreads; ti++ {
+		t := Thread{Core: cores[ti]}
+		nRegions := 1 + r.Intn(2)
+		for ri := 0; ri < nRegions; ri++ {
+			label := fmt.Sprintf("T%dR%d", ti, ri)
+			t.Ops = append(t.Ops, genRegionLife(r, label)...)
+		}
+		sc.Threads = append(sc.Threads, t)
+	}
+	if err := sc.Validate(); err != nil {
+		panic(fmt.Sprintf("litmus: generator produced invalid scenario: %v", err))
+	}
+	return sc
+}
+
+// GenerateMany builds count scenarios from consecutive seeds.
+func GenerateMany(seed uint64, count int) []*Scenario {
+	out := make([]*Scenario, count)
+	for i := range out {
+		out[i] = Generate(seed + uint64(i))
+	}
+	return out
+}
+
+// chooser abstracts the decision source so the seeded generator and the
+// fuzzer share one scenario grammar: every choice genRegionLife makes is
+// either a bounded Intn or a Duration draw.
+type chooser interface {
+	Intn(n int) int
+	Duration(lo, hi sim.Time) sim.Time
+}
+
+// byteChooser drives the grammar from a raw fuzz input; once the bytes run
+// out every choice is 0, so any finite input yields a finite scenario.
+type byteChooser struct {
+	data []byte
+	i    int
+}
+
+func (c *byteChooser) next() byte {
+	if c.i >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.i]
+	c.i++
+	return b
+}
+
+func (c *byteChooser) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(c.next()) % n
+}
+
+func (c *byteChooser) Duration(lo, hi sim.Time) sim.Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Time(c.next())*(hi-lo)/255
+}
+
+// FromBytes derives a scenario deterministically from raw bytes — the fuzz
+// entry point. It reuses the seeded generator's grammar and ownership
+// discipline, so every derived scenario is race-free and therefore subject
+// to the full exact oracle, no matter how adversarial the input.
+func FromBytes(data []byte) *Scenario {
+	c := &byteChooser{data: data}
+	sc := &Scenario{Name: "from-bytes"}
+	nThreads := 1 + c.Intn(3)
+	for ti := 0; ti < nThreads; ti++ {
+		t := Thread{Core: (ti * 5) % 16}
+		nRegions := 1 + c.Intn(2)
+		for ri := 0; ri < nRegions; ri++ {
+			label := fmt.Sprintf("T%dR%d", ti, ri)
+			t.Ops = append(t.Ops, genRegionLife(c, label)...)
+		}
+		sc.Threads = append(sc.Threads, t)
+	}
+	if err := sc.Validate(); err != nil {
+		panic(fmt.Sprintf("litmus: FromBytes produced invalid scenario: %v", err))
+	}
+	return sc
+}
+
+// genRegionLife emits one region's lifecycle: an mmap, a body of touches
+// and address-space changes, and usually a final unmap.
+//
+// Every ranged op stays inside VA the region still owns. Once a partial
+// munmap releases part of the range, that hole is off limits forever: the
+// kernel hands released VA to whatever mmap asks next (immediately under
+// linux, post-reclaim under latr), so an op spanning the hole would hit an
+// unrelated region's VMA — real aliasing the flat model cannot predict,
+// and exactly the cross-thread entanglement that would make generated
+// scenarios racy. (The shrinker reduced every early generator divergence
+// to this class.)
+func genRegionLife(r chooser, label string) []Op {
+	pages := 1 + r.Intn(12)
+	if r.Intn(10) == 0 {
+		// Occasionally cross the 33-page full-flush threshold.
+		pages = 34 + r.Intn(10)
+	}
+	owned := make([]bool, pages)
+	for i := range owned {
+		owned[i] = true
+	}
+	ops := []Op{{
+		Kind:     OpMmap,
+		Region:   label,
+		Pages:    pages,
+		Populate: r.Intn(2) == 0,
+		ReadOnly: r.Intn(7) == 0,
+	}}
+	// ownedRuns lists the maximal still-owned intervals.
+	ownedRuns := func() [][2]int {
+		var runs [][2]int
+		for i := 0; i < pages; {
+			if !owned[i] {
+				i++
+				continue
+			}
+			j := i
+			for j < pages && owned[j] {
+				j++
+			}
+			runs = append(runs, [2]int{i, j - i})
+			i = j
+		}
+		return runs
+	}
+	// span picks a random sub-range of one owned run.
+	span := func() (int, int, bool) {
+		runs := ownedRuns()
+		if len(runs) == 0 {
+			return 0, 0, false
+		}
+		run := runs[r.Intn(len(runs))]
+		off := run[0] + r.Intn(run[1])
+		return off, 1 + r.Intn(run[0]+run[1]-off), true
+	}
+	allOwned := func() bool {
+		for _, o := range owned {
+			if !o {
+				return false
+			}
+		}
+		return true
+	}
+	for n := 2 + r.Intn(6); n > 0; n-- {
+		off, length, ok := span()
+		if !ok {
+			break // every page released: the region is dead
+		}
+		switch c := r.Intn(20); {
+		case c < 9:
+			ops = append(ops, Op{Kind: OpTouch, Region: label, Off: off, Pages: length, Write: r.Intn(2) == 0})
+		case c < 12:
+			ops = append(ops, Op{Kind: OpMadvise, Region: label, Off: off, Pages: length})
+		case c < 15:
+			ops = append(ops, Op{Kind: OpMprotect, Region: label, Off: off, Pages: length, Write: r.Intn(2) == 0})
+		case c < 16:
+			if allOwned() {
+				ops = append(ops, Op{Kind: OpMremap, Region: label})
+			}
+		case c < 17:
+			ops = append(ops, Op{Kind: OpMunmap, Region: label, Off: off, Pages: length})
+			for i := off; i < off+length; i++ {
+				owned[i] = false
+			}
+		case c < 19:
+			ops = append(ops, Op{Kind: OpCompute, Dur: r.Duration(5*sim.Microsecond, 50*sim.Microsecond)})
+		default:
+			ops = append(ops, Op{Kind: OpYield})
+		}
+	}
+	if r.Intn(5) > 0 {
+		if allOwned() {
+			ops = append(ops, Op{Kind: OpMunmap, Region: label, Sync: r.Intn(5) == 0})
+		} else {
+			// Fragmented: release each surviving interval on its own, so no
+			// unmap ever spans a reusable hole.
+			for _, run := range ownedRuns() {
+				ops = append(ops, Op{Kind: OpMunmap, Region: label, Off: run[0], Pages: run[1]})
+			}
+		}
+	}
+	return ops
+}

@@ -1,0 +1,262 @@
+// Package litmus is the coherence litmus-test engine: small declarative
+// multi-core scenarios (threads issuing mmap/munmap/mprotect/fork/CoW
+// sequences with touch points) executed under every shootdown policy and
+// topology, checked by a differential oracle.
+//
+// The oracle has two halves. Per run, a flat reference address-space model
+// with immediate coherence (model.go) is stepped alongside the kernel at op
+// completion; the kernel's converged final state — per-region present/
+// protection bits, frame counts, fault counts — must match the model
+// exactly. Across runs, a comparator asserts every policy reaches the same
+// final architectural state. Comparison is region-relative rather than
+// absolute-VPN because lazy VA reclamation (LATR §4.2) legitimately shifts
+// mmap bases between policies; what must agree is the shape of each region,
+// not where the allocator happened to place it.
+//
+// Scenarios marked Racy deliberately overlap unsynchronized operations on
+// shared regions; their interleaving — and therefore their fault counts and
+// final shape — may legitimately differ across policies, so the oracle
+// restricts itself to the policy-independent safety properties: no
+// use-after-reclaim (auditor), no leaked mappings or frames, no deadlock,
+// and per-run determinism. Runs under a chaos profile are held to the same
+// reduced standard for the same reason: injected tick drops and sweep
+// stalls legitimately move when invalidations land, so fault counts and
+// cross-policy agreement are no longer exact — but the safety invariants
+// must survive any fault schedule.
+package litmus
+
+import (
+	"fmt"
+
+	"latr/internal/sim"
+)
+
+// OpKind enumerates litmus operations.
+type OpKind uint8
+
+// Litmus op kinds. The compact text form for each is shown in the comment.
+const (
+	OpInvalid  OpKind = iota
+	OpMmap            // mmap <region> <pages> [pop] [ro] [huge]
+	OpMunmap          // munmap <region> [<off> <pages>] [sync]
+	OpMadvise         // madvise <region> <off> <pages>
+	OpMprotect        // mprotect <region> <off> <pages> ro|rw
+	OpMremap          // mremap <region>
+	OpTouch           // read|write <region> <off> <pages>
+	OpCompute         // compute <dur>
+	OpSleep           // sleep <dur>
+	OpYield           // yield
+	OpFork            // fork <proc>
+	OpWait            // wait <region> — block until the region exists
+	OpExit            // exit — tear down the calling process's address space
+)
+
+// Op is one litmus operation. Regions are symbolic: the mmap that creates a
+// region binds its label to whatever base the VA allocator returns in that
+// particular run, and every later reference resolves against that binding,
+// which is what makes scenarios comparable across policies with different
+// VA-reuse behaviour.
+type Op struct {
+	Kind     OpKind
+	Region   string   // target region label (mmap defines it)
+	Off      int      // page offset within the region
+	Pages    int      // page count (mmap: region size)
+	Write    bool     // touch: write access; mprotect: make writable
+	Populate bool     // mmap: allocate frames eagerly
+	ReadOnly bool     // mmap: read-only VMA
+	Huge     bool     // mmap: 2 MB mappings (Pages must be n*512, implies Populate)
+	Sync     bool     // munmap: ForceSync (§7 opt-out)
+	Dur      sim.Time // compute/sleep duration
+	Proc     string   // fork: child process label
+}
+
+// Thread is one thread of a litmus scenario, pinned to a core. Proc names
+// the forked process the thread runs in ("" = the root process); such a
+// thread is spawned the moment the corresponding fork op completes.
+type Thread struct {
+	Core int
+	Proc string
+	Ops  []Op
+}
+
+// ExpectKind enumerates declarative post-conditions.
+type ExpectKind uint8
+
+// Expectation kinds.
+const (
+	// ExpectMapped asserts the final number of present pages in a region.
+	ExpectMapped ExpectKind = iota
+	// ExpectFaults asserts the total observed segv/protection faults across
+	// all threads. Only checked for non-racy scenarios.
+	ExpectFaults
+)
+
+// Expect is one declarative post-condition checked against the final
+// kernel state.
+type Expect struct {
+	Kind   ExpectKind
+	Proc   string // region's owning process ("" = root)
+	Region string
+	N      int
+}
+
+// Scenario is one litmus test.
+type Scenario struct {
+	Name string
+	// Racy marks scenarios whose operations intentionally race: the oracle
+	// skips the reference model and cross-policy comparison and checks only
+	// the interleaving-independent safety properties.
+	Racy    bool
+	Threads []Thread
+	Expects []Expect
+}
+
+// MinCores returns the number of cores the scenario needs; the runner skips
+// topologies with fewer.
+func (s *Scenario) MinCores() int {
+	min := 1
+	for _, t := range s.Threads {
+		if t.Core+1 > min {
+			min = t.Core + 1
+		}
+	}
+	return min
+}
+
+// Validate checks structural well-formedness: cores are non-negative, every
+// region is created somewhere before use is possible, fork labels resolve,
+// and huge regions are only manipulated whole (the kernel rejects partial
+// huge unmaps).
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("litmus: scenario without a name")
+	}
+	if len(s.Threads) == 0 {
+		return fmt.Errorf("litmus %s: no threads", s.Name)
+	}
+	created := map[string]bool{}
+	sizes := map[string]int{}
+	hugeRegions := map[string]bool{}
+	forked := map[string]bool{}
+	// Pre-pass: bind region labels and fork labels scenario-wide, so a
+	// thread may reference a region another thread creates.
+	for ti, t := range s.Threads {
+		for oi, op := range t.Ops {
+			where := fmt.Sprintf("litmus %s: thread %d op %d", s.Name, ti, oi)
+			switch op.Kind {
+			case OpMmap:
+				if op.Region == "" || op.Pages <= 0 {
+					return fmt.Errorf("%s: mmap needs a region and positive size", where)
+				}
+				if created[op.Region] {
+					return fmt.Errorf("%s: region %q created twice (labels are single-assignment)", where, op.Region)
+				}
+				if op.Huge && op.Pages%512 != 0 {
+					return fmt.Errorf("%s: huge region %q size %d not a multiple of 512", where, op.Region, op.Pages)
+				}
+				created[op.Region] = true
+				sizes[op.Region] = op.Pages
+				if op.Huge {
+					hugeRegions[op.Region] = true
+				}
+			case OpFork:
+				if op.Proc == "" {
+					return fmt.Errorf("%s: fork without a process label", where)
+				}
+				if forked[op.Proc] {
+					return fmt.Errorf("%s: process %q forked twice", where, op.Proc)
+				}
+				forked[op.Proc] = true
+			}
+		}
+	}
+	for ti, t := range s.Threads {
+		if t.Core < 0 {
+			return fmt.Errorf("litmus %s: thread %d on negative core", s.Name, ti)
+		}
+		for oi, op := range t.Ops {
+			where := fmt.Sprintf("litmus %s: thread %d op %d", s.Name, ti, oi)
+			switch op.Kind {
+			case OpMmap:
+			case OpMunmap, OpMadvise, OpMprotect, OpMremap, OpTouch, OpWait:
+				if op.Region == "" {
+					return fmt.Errorf("%s: %v without a region", where, op.Kind)
+				}
+				if !created[op.Region] {
+					// A reference no mmap ever satisfies would block its
+					// thread forever.
+					return fmt.Errorf("%s: region %q is never created", where, op.Region)
+				}
+				if hugeRegions[op.Region] {
+					switch op.Kind {
+					case OpMadvise, OpMprotect, OpMremap:
+						return fmt.Errorf("%s: %v on huge region %q not modelled", where, op.Kind, op.Region)
+					case OpMunmap:
+						if op.Pages != 0 || op.Off != 0 {
+							return fmt.Errorf("%s: partial munmap of huge region %q", where, op.Region)
+						}
+					}
+				}
+				if op.Kind != OpMunmap && op.Kind != OpMremap && op.Kind != OpWait && op.Pages <= 0 {
+					return fmt.Errorf("%s: %v needs a positive page count", where, op.Kind)
+				}
+				// Ranged ops must stay inside the region: one page past the
+				// end is a different VMA in the kernel but not in the model.
+				if size, known := sizes[op.Region]; known && op.Kind != OpWait {
+					if op.Off < 0 || op.Off+op.Pages > size {
+						return fmt.Errorf("%s: [%d,+%d) outside region %q (%d pages)", where, op.Off, op.Pages, op.Region, size)
+					}
+				}
+			case OpCompute, OpSleep:
+				if op.Dur <= 0 {
+					return fmt.Errorf("%s: %v needs a positive duration", where, op.Kind)
+				}
+			case OpFork, OpYield, OpExit:
+			default:
+				return fmt.Errorf("%s: unknown op kind %d", where, op.Kind)
+			}
+		}
+	}
+	for ti, t := range s.Threads {
+		if t.Proc != "" && !forked[t.Proc] {
+			return fmt.Errorf("litmus %s: thread %d runs in process %q which no fork creates", s.Name, ti, t.Proc)
+		}
+	}
+	for _, e := range s.Expects {
+		if e.Kind == ExpectMapped && !created[e.Region] {
+			return fmt.Errorf("litmus %s: expectation on unknown region %q", s.Name, e.Region)
+		}
+	}
+	return nil
+}
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMmap:
+		return "mmap"
+	case OpMunmap:
+		return "munmap"
+	case OpMadvise:
+		return "madvise"
+	case OpMprotect:
+		return "mprotect"
+	case OpMremap:
+		return "mremap"
+	case OpTouch:
+		return "touch"
+	case OpCompute:
+		return "compute"
+	case OpSleep:
+		return "sleep"
+	case OpYield:
+		return "yield"
+	case OpFork:
+		return "fork"
+	case OpWait:
+		return "wait"
+	case OpExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}

@@ -1,0 +1,110 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// TestScenariosValidate ensures the built-in corpus parses and validates.
+func TestScenariosValidate(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 15 {
+		t.Fatalf("built-in corpus has %d scenarios, want >= 15", len(scs))
+	}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+}
+
+// TestSingleScenario runs each built-in scenario under each policy on the
+// small topology individually, for precise failure attribution.
+func TestSingleScenario(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			var outs []Outcome
+			for _, pol := range DefaultPolicies {
+				out := RunScenario(sc, RunConfig{Policy: pol, Topo: "2x8", Seed: 7})
+				if out.Skipped {
+					continue
+				}
+				for _, f := range out.Failures {
+					t.Errorf("%s: %s", out.Key(), f)
+				}
+				outs = append(outs, out)
+			}
+			for _, d := range ComparePolicies(sc, outs) {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// TestHandwrittenSuite runs the full corpus across both topologies and all
+// policies through the suite driver.
+func TestHandwrittenSuite(t *testing.T) {
+	rep := RunSuite(Scenarios(), SuiteConfig{Seed: 3})
+	t.Log(rep.Summary())
+	if rep.Failed() {
+		t.Fatalf("handwritten suite failed:\n%s", rep.RenderFailures(12))
+	}
+	if rep.Runs == 0 || rep.Skipped == 0 {
+		t.Fatalf("suite ran %d, skipped %d; want both non-zero (wide scenario must skip on 2x8)", rep.Runs, rep.Skipped)
+	}
+}
+
+// TestSuiteDeterminism runs the suite twice and demands byte-identical
+// outcome digests — the litmus engine must be fully deterministic.
+func TestSuiteDeterminism(t *testing.T) {
+	cfg := SuiteConfig{Seed: 11, Topos: []string{"2x8"}}
+	a := RunSuite(Scenarios(), cfg)
+	b := RunSuite(Scenarios(), cfg)
+	if a.Digest != b.Digest {
+		t.Fatalf("suite digest not reproducible: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.Failed() {
+		t.Fatalf("suite failed:\n%s", a.RenderFailures(12))
+	}
+}
+
+// TestChaosTier runs the corpus under positive chaos profiles: outcomes
+// must stay correct when ticks drop, reclaim stalls, or IPIs jitter.
+func TestChaosTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tier is slow")
+	}
+	rep := RunSuite(Scenarios(), SuiteConfig{
+		Policies: []string{"latr"},
+		Topos:    []string{"2x8"},
+		Chaos:    []string{"tick-drop", "reclaim-stall", "jitter"},
+		Seed:     5,
+	})
+	t.Log(rep.Summary())
+	if rep.Failed() {
+		t.Fatalf("chaos tier failed:\n%s", rep.RenderFailures(12))
+	}
+}
+
+// TestRunUnknowns covers config error paths.
+func TestRunUnknowns(t *testing.T) {
+	sc := ScenarioByName("basic-mmap-touch")
+	if sc == nil {
+		t.Fatal("basic-mmap-touch missing")
+	}
+	if out := RunScenario(sc, RunConfig{Policy: "nope", Topo: "2x8"}); len(out.Failures) == 0 {
+		t.Error("unknown policy not reported")
+	}
+	if out := RunScenario(sc, RunConfig{Policy: "linux", Topo: "9x9"}); len(out.Failures) == 0 {
+		t.Error("unknown topology not reported")
+	}
+	if out := RunScenario(sc, RunConfig{Policy: "linux", Topo: "2x8", Chaos: "nope"}); len(out.Failures) == 0 {
+		t.Error("unknown chaos profile not reported")
+	}
+	if ScenarioByName("no-such-scenario") != nil {
+		t.Error("ScenarioByName invented a scenario")
+	}
+}

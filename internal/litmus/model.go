@@ -1,0 +1,329 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The flat reference model: an executable specification of address-space
+// semantics with *immediate* coherence — every mutation is globally visible
+// the instant the op completes, there is no TLB and nothing is lazy. The
+// runner steps it alongside the kernel in op-completion order; once the
+// kernel's lazy machinery drains, the architectural state must be
+// indistinguishable from this model's, and every segv/protection fault the
+// kernel reported must be exactly the fault the model predicted.
+
+// pageState is one page's architectural state in the model.
+type pageState uint8
+
+const (
+	pageAbsent pageState = iota
+	pageRO
+	pageRW
+)
+
+// modelRegion mirrors one symbolic region of one process.
+type modelRegion struct {
+	pages  []pageState
+	frames []int  // model frame id per page; 0 = none
+	vma    []bool // per-page VMA coverage (partial munmap leaves holes)
+	vmaRW  []bool // per-page VMA writability
+	huge   bool
+}
+
+func (r *modelRegion) clone() *modelRegion {
+	c := &modelRegion{huge: r.huge}
+	c.pages = append([]pageState(nil), r.pages...)
+	c.frames = append([]int(nil), r.frames...)
+	c.vma = append([]bool(nil), r.vma...)
+	c.vmaRW = append([]bool(nil), r.vmaRW...)
+	return c
+}
+
+// Model is the whole-system reference state: per-process region maps plus a
+// refcounted abstract frame pool (CoW sharing keeps frames alive exactly as
+// the kernel's allocator refcounts do).
+type Model struct {
+	procs     map[string]map[string]*modelRegion // proc label -> region label -> state
+	frameRefs map[int]int
+	nextFrame int
+}
+
+// NewModel returns an empty model with just the root process.
+func NewModel() *Model {
+	return &Model{
+		procs:     map[string]map[string]*modelRegion{"": {}},
+		frameRefs: map[int]int{},
+	}
+}
+
+func (m *Model) newFrame() int {
+	m.nextFrame++
+	m.frameRefs[m.nextFrame] = 1
+	return m.nextFrame
+}
+
+func (m *Model) getFrame(id int) { m.frameRefs[id]++ }
+func (m *Model) putFrame(id int) {
+	m.frameRefs[id]--
+	if m.frameRefs[id] <= 0 {
+		delete(m.frameRefs, id)
+	}
+}
+
+// FramesInUse returns the number of live model frames — the number the
+// kernel allocator's TotalInUse must equal once everything drains.
+func (m *Model) FramesInUse() int64 { return int64(len(m.frameRefs)) }
+
+// Apply steps the model by one completed op of process proc, returning the
+// number of segv/protection faults the kernel must have observed and
+// whether the op must have failed with a syscall error.
+func (m *Model) Apply(proc string, op Op) (faults int, fail bool) {
+	regs := m.procs[proc]
+	if regs == nil {
+		regs = map[string]*modelRegion{}
+		m.procs[proc] = regs
+	}
+	r := regs[op.Region]
+	switch op.Kind {
+	case OpMmap:
+		nr := &modelRegion{
+			pages:  make([]pageState, op.Pages),
+			frames: make([]int, op.Pages),
+			vma:    make([]bool, op.Pages),
+			vmaRW:  make([]bool, op.Pages),
+			huge:   op.Huge,
+		}
+		st := pageRW
+		if op.ReadOnly {
+			st = pageRO
+		}
+		for i := range nr.vma {
+			nr.vma[i] = true
+			nr.vmaRW[i] = !op.ReadOnly
+			if op.Populate || op.Huge {
+				nr.pages[i] = st
+				nr.frames[i] = m.newFrame()
+			}
+		}
+		regs[op.Region] = nr
+	case OpMunmap:
+		if r == nil {
+			return 0, true
+		}
+		off, n := op.Off, op.Pages
+		if n == 0 {
+			off, n = 0, len(r.pages)
+		}
+		any := false
+		for i := off; i < off+n && i < len(r.pages); i++ {
+			any = any || r.vma[i]
+		}
+		if !any {
+			return 0, true // kernel: ErrNoVMA
+		}
+		for i := off; i < off+n && i < len(r.pages); i++ {
+			m.clearPage(r, i)
+			r.vma[i] = false
+		}
+	case OpMadvise:
+		if r == nil {
+			return 0, true
+		}
+		// The kernel's madvise path clears PTEs regardless of VMA coverage.
+		for i := op.Off; i < op.Off+op.Pages && i < len(r.pages); i++ {
+			m.clearPage(r, i)
+		}
+	case OpMprotect:
+		if r == nil {
+			return 0, true
+		}
+		for i := op.Off; i < op.Off+op.Pages && i < len(r.pages); i++ {
+			r.vmaRW[i] = op.Write
+			if r.pages[i] != pageAbsent {
+				// Mirrors the kernel: SetProtection flips the PTE bit
+				// directly for present pages.
+				if op.Write {
+					r.pages[i] = pageRW
+				} else {
+					r.pages[i] = pageRO
+				}
+			}
+		}
+	case OpMremap:
+		if r == nil {
+			return 0, true
+		}
+		firstVMA := -1
+		for i := range r.vma {
+			if r.vma[i] {
+				firstVMA = i
+				break
+			}
+		}
+		if firstVMA < 0 {
+			return 0, true // ErrNoVMA
+		}
+		// The kernel recreates one whole VMA over the new range with the
+		// first removed piece's writability; present pages move with their
+		// per-page protection.
+		rw := r.vmaRW[firstVMA]
+		for i := range r.vma {
+			r.vma[i] = true
+			r.vmaRW[i] = rw
+		}
+	case OpTouch:
+		if r == nil {
+			return 0, true
+		}
+		for i := op.Off; i < op.Off+op.Pages; i++ {
+			if i < 0 || i >= len(r.pages) {
+				faults++ // outside the region: unmapped VA
+				continue
+			}
+			faults += m.touchPage(r, i, op.Write)
+		}
+	case OpFork:
+		child := map[string]*modelRegion{}
+		for label, pr := range regs {
+			cr := pr.clone()
+			for i := range pr.pages {
+				if !pr.vma[i] {
+					// Outside any VMA: the child gets nothing here.
+					cr.pages[i] = pageAbsent
+					cr.frames[i] = 0
+					continue
+				}
+				if pr.pages[i] == pageAbsent {
+					continue
+				}
+				if pr.huge {
+					// Huge mappings are copied eagerly: fresh frames, same
+					// protection, parent untouched.
+					cr.frames[i] = m.newFrame()
+					continue
+				}
+				// 4 KB CoW: share the frame, both sides read-only.
+				m.getFrame(pr.frames[i])
+				pr.pages[i] = pageRO
+				cr.pages[i] = pageRO
+			}
+			child[label] = cr
+		}
+		m.procs[op.Proc] = child
+	case OpExit:
+		for _, pr := range regs {
+			for i := range pr.pages {
+				m.clearPage(pr, i)
+				pr.vma[i] = false
+			}
+		}
+	case OpCompute, OpSleep, OpYield, OpWait:
+	}
+	return faults, false
+}
+
+// clearPage drops page i's frame and marks it absent.
+func (m *Model) clearPage(r *modelRegion, i int) {
+	if r.pages[i] != pageAbsent {
+		m.putFrame(r.frames[i])
+		r.pages[i] = pageAbsent
+		r.frames[i] = 0
+	}
+}
+
+// touchPage applies one access, returning 1 if it faults fatally
+// (segv or write to a genuinely read-only page).
+func (m *Model) touchPage(r *modelRegion, i int, write bool) int {
+	switch r.pages[i] {
+	case pageAbsent:
+		if !r.vma[i] {
+			return 1 // segv
+		}
+		// Demand paging. Mirrors the kernel exactly: the fault maps the page
+		// with the VMA's protection and the touch moves on without retrying
+		// the access, so even a write to a read-only VMA counts no
+		// protection fault on its first (mapping) touch.
+		r.frames[i] = m.newFrame()
+		if r.vmaRW[i] {
+			r.pages[i] = pageRW
+		} else {
+			r.pages[i] = pageRO
+		}
+		return 0
+	case pageRO:
+		if !write {
+			return 0
+		}
+		if !r.vmaRW[i] {
+			return 1 // protection fault
+		}
+		// CoW break: sole owner upgrades in place, otherwise copy.
+		if m.frameRefs[r.frames[i]] > 1 {
+			m.putFrame(r.frames[i])
+			r.frames[i] = m.newFrame()
+		}
+		r.pages[i] = pageRW
+		return 0
+	default: // pageRW
+		return 0
+	}
+}
+
+// MappedPages returns the number of present pages in one region.
+func (m *Model) MappedPages(proc, region string) int {
+	r := m.procs[proc][region]
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, st := range r.pages {
+		if st != pageAbsent {
+			n++
+		}
+	}
+	return n
+}
+
+// Final renders the model's architectural state in the region-relative
+// canonical form the runner also derives from the kernel snapshot. Per
+// page: '.' = absent without VMA, 'o' = absent but demand-mappable (VMA
+// hole), 'r'/'w' = present read-only/writable.
+func (m *Model) Final() string {
+	var procs []string
+	for p := range m.procs {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	var b strings.Builder
+	for _, p := range procs {
+		var labels []string
+		for l := range m.procs[p] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			r := m.procs[p][l]
+			fmt.Fprintf(&b, "%s/%s=", p, l)
+			for i := range r.pages {
+				b.WriteByte(pageChar(r.pages[i], r.vma[i]))
+			}
+			b.WriteByte(';')
+		}
+	}
+	return b.String()
+}
+
+func pageChar(st pageState, vma bool) byte {
+	switch {
+	case st == pageRW:
+		return 'w'
+	case st == pageRO:
+		return 'r'
+	case vma:
+		return 'o'
+	default:
+		return '.'
+	}
+}

@@ -1,0 +1,135 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"latr/internal/shootdown"
+)
+
+// Oracle-sensitivity tests: run scenarios under deliberately broken
+// policies (shootdown.Mutant) and a deliberately broken chaos profile, and
+// assert the differential oracle actually catches each bug class through
+// its designed detection channel. A differential oracle that never fires
+// proves nothing; these are its positive controls.
+
+// mutantProbe maps each mutation class to the scenario that baits it and
+// the oracle channel that must catch it.
+var mutantProbes = map[shootdown.Mutation]struct {
+	scenario string
+	check    func(t *testing.T, out Outcome)
+}{
+	// Freeing frames with no remote invalidation: the recycled frames are
+	// still cached by the victims' TLBs, which the frame-reuse auditor
+	// reports the moment region B's mmap reallocates them.
+	shootdown.MutEarlyFree: {
+		scenario: "reuse-after-shootdown",
+		check: func(t *testing.T, out Outcome) {
+			if out.Violations == 0 {
+				t.Error("early-free produced no auditor violations")
+			}
+		},
+	},
+	// Skipping one shootdown target leaves exactly one stale TLB; the
+	// auditor names it when the freed frame is reused.
+	shootdown.MutSkipOneTarget: {
+		scenario: "reuse-after-shootdown",
+		check: func(t *testing.T, out Outcome) {
+			if out.Violations == 0 {
+				t.Error("skip-one-target produced no auditor violations")
+			}
+		},
+	},
+	// Never releasing unmapped frames: coherence stays correct, so only
+	// the frame accounting against the reference model can see it.
+	shootdown.MutLeakFrames: {
+		scenario: "reuse-after-shootdown",
+		check: func(t *testing.T, out Outcome) {
+			if !failureMentions(out, "frames in use") {
+				t.Errorf("leak-frames not caught by frame accounting; failures: %v", out.Failures)
+			}
+		},
+	},
+	// Completing mprotect without remote invalidation: the victim's stale
+	// writable entry lets a write bypass the new read-only protection —
+	// observable only as the missing protection faults the model predicted.
+	shootdown.MutSkipSyncInval: {
+		scenario: "mprotect-remote-revoke",
+		check: func(t *testing.T, out Outcome) {
+			if !failureMentions(out, "model predicts") {
+				t.Errorf("skip-sync-inval not caught by fault divergence; failures: %v", out.Failures)
+			}
+		},
+	},
+}
+
+func failureMentions(out Outcome, sub string) bool {
+	for _, f := range out.Failures {
+		if strings.Contains(f, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOracleSensitivityMutants proves every mutation class is detected —
+// and that the very same scenarios pass under the correct baseline, so the
+// detections are signal, not noise.
+func TestOracleSensitivityMutants(t *testing.T) {
+	for _, mut := range shootdown.Mutations() {
+		probe, ok := mutantProbes[mut]
+		if !ok {
+			t.Fatalf("mutation %q has no sensitivity probe; add one", mut)
+		}
+		t.Run(string(mut), func(t *testing.T) {
+			sc := ScenarioByName(probe.scenario)
+			if sc == nil {
+				t.Fatalf("scenario %q missing", probe.scenario)
+			}
+			out := RunScenario(sc, RunConfig{Policy: "mutant:" + string(mut), Topo: "2x8", Seed: 13})
+			if len(out.Failures) == 0 {
+				t.Fatalf("oracle failed to detect %s at all", mut)
+			}
+			probe.check(t, out)
+
+			control := RunScenario(sc, RunConfig{Policy: "linux", Topo: "2x8", Seed: 13})
+			if len(control.Failures) != 0 {
+				t.Fatalf("control run (linux) failed: %v", control.Failures)
+			}
+		})
+	}
+}
+
+// TestOracleSensitivityUnsafeReclaim: LATR with the negative chaos profile
+// frees lazy memory while states are still active; the auditor must
+// object, and the same scenario under a positive profile must stay clean.
+func TestOracleSensitivityUnsafeReclaim(t *testing.T) {
+	sc := ScenarioByName("reuse-after-shootdown")
+	if sc == nil {
+		t.Fatal("scenario missing")
+	}
+	out := RunScenario(sc, RunConfig{Policy: "latr", Topo: "2x8", Chaos: "unsafe-reclaim", Seed: 13})
+	if out.Violations == 0 {
+		t.Fatalf("unsafe-reclaim produced no auditor violations; failures: %v", out.Failures)
+	}
+	control := RunScenario(sc, RunConfig{Policy: "latr", Topo: "2x8", Chaos: "jitter", Seed: 13})
+	if len(control.Failures) != 0 {
+		t.Fatalf("control run (latr under jitter) failed: %v", control.Failures)
+	}
+}
+
+// TestMutantFactory covers the mutant construction error path.
+func TestMutantFactory(t *testing.T) {
+	if _, err := shootdown.NewMutant("no-such-bug"); err == nil {
+		t.Error("unknown mutation accepted")
+	}
+	for _, mut := range shootdown.Mutations() {
+		p, err := shootdown.NewMutant(mut)
+		if err != nil {
+			t.Fatalf("%s: %v", mut, err)
+		}
+		if want := "mutant:" + string(mut); p.Name() != want {
+			t.Errorf("mutant name %q, want %q", p.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"latr/internal/sim"
+)
+
+// The compact text form — one scenario per file, one op per line:
+//
+//	litmus <name>
+//	racy                          # optional: mark as intentionally racing
+//	thread <core> [@ <proc>]      # @ names the forked process it runs in
+//	  mmap A 8 pop                # rw by default; flags: pop, ro, huge
+//	  write A 0 8                 # read|write <region> <off> <pages>
+//	  munmap A                    # whole region; or: munmap A <off> <pages>
+//	  munmap A sync               # ForceSync variant
+//	  madvise A 0 4
+//	  mprotect A 0 4 ro
+//	  mremap A
+//	  compute 50us
+//	  sleep 1ms
+//	  yield
+//	  fork C1
+//	  wait A                      # block until another thread mmaps A
+//	  exit                        # tear down the process address space
+//	expect mapped A 8             # or: expect mapped C1:A 8
+//	expect faults 4
+//
+// '#' starts a comment; indentation is free-form. String renders the
+// canonical form, and Parse(String(s)) round-trips exactly — which is what
+// lets the shrinker hand failures back as minimal litmus files.
+
+// Parse decodes the compact text form of one scenario.
+func Parse(text string) (*Scenario, error) {
+	sc := &Scenario{}
+	var cur *Thread
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) (*Scenario, error) {
+			return nil, fmt.Errorf("litmus parse line %d (%q): %s", ln+1, strings.TrimSpace(raw), fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "litmus":
+			if len(f) != 2 || sc.Name != "" {
+				return fail("want a single 'litmus <name>' header")
+			}
+			sc.Name = f[1]
+		case "racy":
+			sc.Racy = true
+		case "thread":
+			if len(f) != 2 && !(len(f) == 4 && f[2] == "@") {
+				return fail("want 'thread <core>' or 'thread <core> @ <proc>'")
+			}
+			core, err := strconv.Atoi(f[1])
+			if err != nil {
+				return fail("bad core: %v", err)
+			}
+			t := Thread{Core: core}
+			if len(f) == 4 {
+				t.Proc = f[3]
+			}
+			sc.Threads = append(sc.Threads, t)
+			cur = &sc.Threads[len(sc.Threads)-1]
+		case "expect":
+			if len(f) == 3 && f[1] == "faults" {
+				n, err := strconv.Atoi(f[2])
+				if err != nil {
+					return fail("bad fault count: %v", err)
+				}
+				sc.Expects = append(sc.Expects, Expect{Kind: ExpectFaults, N: n})
+				continue
+			}
+			if len(f) == 4 && f[1] == "mapped" {
+				n, err := strconv.Atoi(f[3])
+				if err != nil {
+					return fail("bad page count: %v", err)
+				}
+				e := Expect{Kind: ExpectMapped, Region: f[2], N: n}
+				if proc, reg, ok := strings.Cut(f[2], ":"); ok {
+					e.Proc, e.Region = proc, reg
+				}
+				sc.Expects = append(sc.Expects, e)
+				continue
+			}
+			return fail("want 'expect mapped [proc:]<region> <n>' or 'expect faults <n>'")
+		default:
+			if cur == nil {
+				return fail("op before any 'thread' header")
+			}
+			op, err := parseOp(f)
+			if err != nil {
+				return fail("%v", err)
+			}
+			cur.Ops = append(cur.Ops, op)
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// MustParse parses text, panicking on error — for the built-in suite.
+func MustParse(text string) *Scenario {
+	sc, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+func parseOp(f []string) (Op, error) {
+	var op Op
+	ints := func(fields []string) ([]int, error) {
+		out := make([]int, len(fields))
+		for i, s := range fields {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("bad integer %q", s)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch f[0] {
+	case "mmap":
+		if len(f) < 3 {
+			return op, fmt.Errorf("want 'mmap <region> <pages> [pop] [ro] [huge]'")
+		}
+		n, err := ints(f[2:3])
+		if err != nil {
+			return op, err
+		}
+		op = Op{Kind: OpMmap, Region: f[1], Pages: n[0]}
+		for _, flag := range f[3:] {
+			switch flag {
+			case "pop":
+				op.Populate = true
+			case "ro":
+				op.ReadOnly = true
+			case "huge":
+				op.Huge = true
+				op.Populate = true
+			default:
+				return op, fmt.Errorf("unknown mmap flag %q", flag)
+			}
+		}
+	case "munmap":
+		rest := f[1:]
+		if len(rest) > 0 && rest[len(rest)-1] == "sync" {
+			op.Sync = true
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) != 1 && len(rest) != 3 {
+			return op, fmt.Errorf("want 'munmap <region> [<off> <pages>] [sync]'")
+		}
+		op.Kind, op.Region = OpMunmap, rest[0]
+		if len(rest) == 3 {
+			n, err := ints(rest[1:])
+			if err != nil {
+				return op, err
+			}
+			op.Off, op.Pages = n[0], n[1]
+		}
+	case "madvise":
+		if len(f) != 4 {
+			return op, fmt.Errorf("want 'madvise <region> <off> <pages>'")
+		}
+		n, err := ints(f[2:])
+		if err != nil {
+			return op, err
+		}
+		op = Op{Kind: OpMadvise, Region: f[1], Off: n[0], Pages: n[1]}
+	case "mprotect":
+		if len(f) != 5 || (f[4] != "ro" && f[4] != "rw") {
+			return op, fmt.Errorf("want 'mprotect <region> <off> <pages> ro|rw'")
+		}
+		n, err := ints(f[2:4])
+		if err != nil {
+			return op, err
+		}
+		op = Op{Kind: OpMprotect, Region: f[1], Off: n[0], Pages: n[1], Write: f[4] == "rw"}
+	case "mremap":
+		if len(f) != 2 {
+			return op, fmt.Errorf("want 'mremap <region>'")
+		}
+		op = Op{Kind: OpMremap, Region: f[1]}
+	case "read", "write":
+		if len(f) != 4 {
+			return op, fmt.Errorf("want '%s <region> <off> <pages>'", f[0])
+		}
+		n, err := ints(f[2:])
+		if err != nil {
+			return op, err
+		}
+		op = Op{Kind: OpTouch, Region: f[1], Off: n[0], Pages: n[1], Write: f[0] == "write"}
+	case "compute", "sleep":
+		if len(f) != 2 {
+			return op, fmt.Errorf("want '%s <duration>'", f[0])
+		}
+		d, err := parseDur(f[1])
+		if err != nil {
+			return op, err
+		}
+		op = Op{Kind: OpCompute, Dur: d}
+		if f[0] == "sleep" {
+			op.Kind = OpSleep
+		}
+	case "yield":
+		op = Op{Kind: OpYield}
+	case "fork":
+		if len(f) != 2 {
+			return op, fmt.Errorf("want 'fork <proc>'")
+		}
+		op = Op{Kind: OpFork, Proc: f[1]}
+	case "wait":
+		if len(f) != 2 {
+			return op, fmt.Errorf("want 'wait <region>'")
+		}
+		op = Op{Kind: OpWait, Region: f[1]}
+	case "exit":
+		op = Op{Kind: OpExit}
+	default:
+		return op, fmt.Errorf("unknown op %q", f[0])
+	}
+	return op, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	unit := sim.Time(1)
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		unit, s = sim.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, s = sim.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return sim.Time(v) * unit, nil
+}
+
+func fmtDur(d sim.Time) string {
+	switch {
+	case d%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/sim.Millisecond)
+	case d%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", d/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// String renders the scenario in canonical text form; Parse round-trips it.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "litmus %s\n", s.Name)
+	if s.Racy {
+		b.WriteString("racy\n")
+	}
+	for _, t := range s.Threads {
+		if t.Proc != "" {
+			fmt.Fprintf(&b, "thread %d @ %s\n", t.Core, t.Proc)
+		} else {
+			fmt.Fprintf(&b, "thread %d\n", t.Core)
+		}
+		for _, op := range t.Ops {
+			b.WriteString("  ")
+			b.WriteString(op.String())
+			b.WriteByte('\n')
+		}
+	}
+	for _, e := range s.Expects {
+		switch e.Kind {
+		case ExpectMapped:
+			reg := e.Region
+			if e.Proc != "" {
+				reg = e.Proc + ":" + e.Region
+			}
+			fmt.Fprintf(&b, "expect mapped %s %d\n", reg, e.N)
+		case ExpectFaults:
+			fmt.Fprintf(&b, "expect faults %d\n", e.N)
+		}
+	}
+	return b.String()
+}
+
+// String renders one op in canonical text form.
+func (op Op) String() string {
+	switch op.Kind {
+	case OpMmap:
+		s := fmt.Sprintf("mmap %s %d", op.Region, op.Pages)
+		if op.Populate && !op.Huge {
+			s += " pop"
+		}
+		if op.ReadOnly {
+			s += " ro"
+		}
+		if op.Huge {
+			s += " huge"
+		}
+		return s
+	case OpMunmap:
+		s := "munmap " + op.Region
+		if op.Pages > 0 {
+			s += fmt.Sprintf(" %d %d", op.Off, op.Pages)
+		}
+		if op.Sync {
+			s += " sync"
+		}
+		return s
+	case OpMadvise:
+		return fmt.Sprintf("madvise %s %d %d", op.Region, op.Off, op.Pages)
+	case OpMprotect:
+		prot := "ro"
+		if op.Write {
+			prot = "rw"
+		}
+		return fmt.Sprintf("mprotect %s %d %d %s", op.Region, op.Off, op.Pages, prot)
+	case OpMremap:
+		return "mremap " + op.Region
+	case OpTouch:
+		verb := "read"
+		if op.Write {
+			verb = "write"
+		}
+		return fmt.Sprintf("%s %s %d %d", verb, op.Region, op.Off, op.Pages)
+	case OpCompute:
+		return "compute " + fmtDur(op.Dur)
+	case OpSleep:
+		return "sleep " + fmtDur(op.Dur)
+	case OpYield:
+		return "yield"
+	case OpFork:
+		return "fork " + op.Proc
+	case OpWait:
+		return "wait " + op.Region
+	case OpExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("?%d", uint8(op.Kind))
+	}
+}

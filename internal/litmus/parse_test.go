@@ -1,0 +1,80 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip: String -> Parse -> String is the identity for every
+// built-in and generated scenario — the property the shrinker relies on to
+// hand minimized failures back as litmus files.
+func TestRoundTrip(t *testing.T) {
+	var scs []*Scenario
+	scs = append(scs, Scenarios()...)
+	scs = append(scs, GenerateMany(42, 50)...)
+	for _, sc := range scs {
+		text := sc.String()
+		re, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse failed: %v\n%s", sc.Name, err, text)
+		}
+		if got := re.String(); got != text {
+			t.Errorf("%s: round-trip drift:\n-- first --\n%s\n-- second --\n%s", sc.Name, text, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"no name", "thread 0\n  yield\n", "without a name"},
+		{"two headers", "litmus a\nlitmus b\n", "single 'litmus <name>'"},
+		{"op before thread", "litmus a\nmmap A 4\n", "before any 'thread'"},
+		{"bad core", "litmus a\nthread x\n  yield\n", "bad core"},
+		{"unknown op", "litmus a\nthread 0\n  frobnicate A\n", "unknown op"},
+		{"bad mmap", "litmus a\nthread 0\n  mmap A\n", "want 'mmap"},
+		{"bad mmap flag", "litmus a\nthread 0\n  mmap A 4 zap\n", "unknown mmap flag"},
+		{"bad expect", "litmus a\nthread 0\n  mmap A 4\nexpect weird A 4\n", "want 'expect"},
+		{"bad duration", "litmus a\nthread 0\n  sleep 10xs\n", "bad duration"},
+		{"zero duration", "litmus a\nthread 0\n  sleep 0us\n", "bad duration"},
+		{"double mmap", "litmus a\nthread 0\n  mmap A 4\n  mmap A 4\n", "created twice"},
+		{"unknown region", "litmus a\nthread 0\n  read A 0 4\n", "never created"},
+		{"out of bounds", "litmus a\nthread 0\n  mmap A 4\n  read A 2 4\n", "outside region"},
+		{"huge misaligned", "litmus a\nthread 0\n  mmap A 100 huge\n", "not a multiple of 512"},
+		{"huge partial unmap", "litmus a\nthread 0\n  mmap A 512 huge\n  munmap A 0 256\n", "partial munmap of huge"},
+		{"huge mprotect", "litmus a\nthread 0\n  mmap A 512 huge\n  mprotect A 0 512 ro\n", "not modelled"},
+		{"unforked proc", "litmus a\nthread 0\n  yield\nthread 1 @ C\n  yield\n", "no fork creates"},
+		{"double fork", "litmus a\nthread 0\n  fork C\n  fork C\n", "forked twice"},
+		{"expect unknown region", "litmus a\nthread 0\n  yield\nexpect mapped A 4\n", "unknown region"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: parse accepted invalid input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseComments covers comment and whitespace handling.
+func TestParseComments(t *testing.T) {
+	sc, err := Parse(`
+# a full-line comment
+litmus commented   # trailing comment
+
+thread 0
+    mmap A 4 pop   # indented however
+    read A 0 4
+expect mapped A 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "commented" || len(sc.Threads) != 1 || len(sc.Threads[0].Ops) != 2 {
+		t.Fatalf("unexpected parse result: %+v", sc)
+	}
+}

@@ -1,0 +1,619 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"latr/internal/chaos"
+	latrcore "latr/internal/core"
+	"latr/internal/cost"
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/shootdown"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// DefaultPolicies is the policy set every litmus scenario runs under.
+var DefaultPolicies = []string{"linux", "latr", "abis", "barrelfish"}
+
+// Topologies maps the suite's machine-shape names to specs.
+func topoByName(name string) (topo.Spec, error) {
+	switch name {
+	case "2x8", "small":
+		return topo.TwoSocket16(), nil
+	case "8x15", "large":
+		return topo.EightSocket120(), nil
+	}
+	return topo.Spec{}, fmt.Errorf("litmus: unknown topology %q (want 2x8 or 8x15)", name)
+}
+
+// newPolicy builds a fresh policy by name. Beyond the standard set it
+// resolves "mutant:<m>" to a deliberately broken Linux variant
+// (shootdown.NewMutant) for the oracle-sensitivity tests, and applies a
+// chaos profile's LATR config overrides (queue depth, reclaim delay).
+func newPolicy(name string, prof chaos.Profile) (kernel.Policy, error) {
+	switch name {
+	case "linux":
+		return shootdown.NewLinux(), nil
+	case "latr":
+		return latrcore.New(latrcore.Config{
+			QueueDepth:   prof.QueueDepth,
+			ReclaimDelay: prof.ReclaimDelay,
+		}), nil
+	case "abis":
+		return shootdown.NewABIS(), nil
+	case "barrelfish":
+		return shootdown.NewBarrelfish(), nil
+	case "instant":
+		return kernel.NewInstantPolicy(), nil
+	}
+	if m, ok := strings.CutPrefix(name, "mutant:"); ok {
+		return shootdown.NewMutant(shootdown.Mutation(m))
+	}
+	return nil, fmt.Errorf("litmus: unknown policy %q", name)
+}
+
+// RunConfig selects one execution of a scenario.
+type RunConfig struct {
+	Policy string
+	Topo   string // "2x8" or "8x15"
+	Chaos  string // chaos profile name, "" = none
+	Seed   uint64
+	// Deadline caps the simulated run; 0 picks a default generous enough
+	// for every built-in scenario.
+	Deadline sim.Time
+}
+
+// Outcome is the observed result of one (scenario, policy, topology, chaos)
+// run, plus every oracle failure detected.
+type Outcome struct {
+	Scenario, Policy, Topo, Chaos string
+
+	// Final is the region-relative canonical final state (see Model.Final).
+	Final string
+	// Faults holds per-thread observed segv/protection fault totals.
+	Faults []int
+	// Violations/AuditReport surface coherence-auditor findings.
+	Violations  int
+	AuditReport string
+	Deadlocked  bool
+	FramesInUse int64
+	LazyPages   int
+	Orphans     int
+	EngineFP    uint64
+
+	// Failures lists every oracle check this run failed; empty = pass.
+	Failures []string
+
+	// Skipped is set when the topology cannot host the scenario.
+	Skipped bool
+}
+
+// Key renders the run's identity for reports.
+func (o Outcome) Key() string {
+	c := o.Chaos
+	if c == "" {
+		c = "none"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", o.Scenario, o.Topo, c, o.Policy)
+}
+
+// Digest folds the determinism-relevant parts of the outcome into a string
+// fingerprinted by the suite.
+func (o Outcome) digest() string {
+	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x",
+		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP)
+}
+
+// regionInfo binds a symbolic region label to its concrete placement in one
+// particular run.
+type regionInfo struct {
+	base  pt.VPN
+	pages int
+	huge  bool
+}
+
+// runner executes one scenario on one kernel, stepping the reference model
+// at every op completion.
+type runner struct {
+	k     *kernel.Kernel
+	sc    *Scenario
+	model *Model // nil for racy scenarios
+
+	procs   map[string]*kernel.Process        // proc label -> process
+	regions map[string]map[string]*regionInfo // proc label -> region label -> placement
+	// claims tracks which region label most recently bound each VPN. A
+	// munmapped region's VA may be reused by a later mmap (immediately under
+	// linux, after reclamation under latr), and the stale binding must not
+	// attribute the new region's pages to the dead one.
+	claims  map[string]map[pt.VPN]string
+	pending map[string][]int // proc label -> thread indices awaiting spawn
+	spawned []bool
+	done    []bool
+	faults  []int
+
+	failures []string
+}
+
+func (r *runner) failf(format string, args ...any) {
+	if len(r.failures) < 64 {
+		r.failures = append(r.failures, fmt.Sprintf(format, args...))
+	}
+}
+
+// waitRetry is the poll interval for ops blocked on a region another thread
+// has not created yet. Virtual-time polling is deterministic.
+const waitRetry = 20 * sim.Microsecond
+
+// program builds the kernel Program interpreting thread ti.
+func (r *runner) program(ti int) kernel.Program {
+	t := r.sc.Threads[ti]
+	i := 0
+	var inflight *Op
+	return kernel.ProgramFunc(func(_ sim.Time, th *kernel.Thread) kernel.Op {
+		if inflight != nil {
+			r.finishOp(ti, th, inflight)
+			inflight = nil
+		}
+		for i < len(t.Ops) {
+			op := &t.Ops[i]
+			kop, ready := r.translate(t.Proc, op)
+			if !ready {
+				return kernel.OpSleep{D: waitRetry}
+			}
+			i++
+			if kop == nil {
+				continue // wait satisfied, or an op with no kernel action
+			}
+			inflight = op
+			return kop
+		}
+		r.done[ti] = true
+		return nil
+	})
+}
+
+// translate maps one litmus op to a kernel op. ready=false means a region
+// or process binding is not available yet; the interpreter retries.
+func (r *runner) translate(proc string, op *Op) (kernel.Op, bool) {
+	regs := r.regions[proc]
+	reg := func() (*regionInfo, bool) {
+		ri, ok := regs[op.Region]
+		return ri, ok
+	}
+	switch op.Kind {
+	case OpMmap:
+		return kernel.OpMmap{
+			Pages:    op.Pages,
+			Writable: !op.ReadOnly,
+			Populate: op.Populate || op.Huge,
+			Huge:     op.Huge,
+			Node:     -1,
+		}, true
+	case OpMunmap:
+		ri, ok := reg()
+		if !ok {
+			return nil, false
+		}
+		off, n := op.Off, op.Pages
+		if n == 0 {
+			off, n = 0, ri.pages
+		}
+		return kernel.OpMunmap{Addr: ri.base + pt.VPN(off), Pages: n, ForceSync: op.Sync}, true
+	case OpMadvise:
+		ri, ok := reg()
+		if !ok {
+			return nil, false
+		}
+		return kernel.OpMadvise{Addr: ri.base + pt.VPN(op.Off), Pages: op.Pages}, true
+	case OpMprotect:
+		ri, ok := reg()
+		if !ok {
+			return nil, false
+		}
+		return kernel.OpMprotect{Addr: ri.base + pt.VPN(op.Off), Pages: op.Pages, Writable: op.Write}, true
+	case OpMremap:
+		ri, ok := reg()
+		if !ok {
+			return nil, false
+		}
+		return kernel.OpMremap{Addr: ri.base, Pages: ri.pages}, true
+	case OpTouch:
+		ri, ok := reg()
+		if !ok {
+			return nil, false
+		}
+		return kernel.OpTouchRange{Start: ri.base + pt.VPN(op.Off), Pages: op.Pages, Write: op.Write}, true
+	case OpCompute:
+		return kernel.OpCompute{D: op.Dur}, true
+	case OpSleep:
+		return kernel.OpSleep{D: op.Dur}, true
+	case OpYield:
+		return kernel.OpYield{}, true
+	case OpFork:
+		return kernel.OpFork{}, true
+	case OpWait:
+		_, ok := reg()
+		return nil, ok
+	case OpExit:
+		k := r.k
+		return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+			k.ReleaseAddressSpace(c, th, th.Proc, done)
+		}}, true
+	}
+	return nil, true
+}
+
+// finishOp post-processes a completed op: bind fresh regions, register fork
+// children, spawn their pending threads, accumulate faults, and step the
+// reference model, cross-checking its fault/error prediction.
+func (r *runner) finishOp(ti int, th *kernel.Thread, op *Op) {
+	t := r.sc.Threads[ti]
+	switch op.Kind {
+	case OpMmap:
+		if th.LastErr == nil {
+			r.regions[t.Proc][op.Region] = &regionInfo{base: th.LastAddr, pages: op.Pages, huge: op.Huge}
+			r.claim(t.Proc, op.Region, th.LastAddr, op.Pages)
+		}
+	case OpMremap:
+		if th.LastErr == nil {
+			if ri, ok := r.regions[t.Proc][op.Region]; ok {
+				for i := 0; i < ri.pages; i++ {
+					if vpn := ri.base + pt.VPN(i); r.claims[t.Proc][vpn] == op.Region {
+						delete(r.claims[t.Proc], vpn)
+					}
+				}
+				ri.base = th.LastAddr
+				r.claim(t.Proc, op.Region, ri.base, ri.pages)
+			}
+		}
+	case OpFork:
+		if th.LastErr == nil && th.LastProc != nil {
+			r.procs[op.Proc] = th.LastProc
+			// The child inherits the parent's region placements (fork
+			// mirrors VAs).
+			inherited := map[string]*regionInfo{}
+			for label, ri := range r.regions[t.Proc] {
+				cp := *ri
+				inherited[label] = &cp
+			}
+			r.regions[op.Proc] = inherited
+			owned := map[pt.VPN]string{}
+			for vpn, label := range r.claims[t.Proc] {
+				owned[vpn] = label
+			}
+			r.claims[op.Proc] = owned
+			for _, wi := range r.pending[op.Proc] {
+				r.spawn(wi)
+			}
+			r.pending[op.Proc] = nil
+		}
+	case OpTouch:
+		r.faults[ti] += th.LastFault
+	}
+	if r.model != nil {
+		predFaults, predFail := r.model.Apply(t.Proc, *op)
+		if op.Kind == OpTouch && th.LastFault != predFaults {
+			r.failf("%s thread %d op %q: observed %d faults, model predicts %d",
+				r.sc.Name, ti, op.String(), th.LastFault, predFaults)
+		}
+		if gotFail := th.LastErr != nil; gotFail != predFail {
+			r.failf("%s thread %d op %q: error=%v, model predicts fail=%v",
+				r.sc.Name, ti, op.String(), th.LastErr, predFail)
+		}
+	} else if th.LastErr != nil && op.Kind != OpMunmap && op.Kind != OpMremap {
+		// Racy scenarios tolerate ErrNoVMA-style losers of munmap/mremap
+		// races, but allocation failures etc. still count.
+		r.failf("%s thread %d op %q: unexpected error %v", r.sc.Name, ti, op.String(), th.LastErr)
+	}
+}
+
+// claim records region as the latest owner of [base, base+pages).
+func (r *runner) claim(proc, region string, base pt.VPN, pages int) {
+	owned := r.claims[proc]
+	if owned == nil {
+		owned = map[pt.VPN]string{}
+		r.claims[proc] = owned
+	}
+	for i := 0; i < pages; i++ {
+		owned[base+pt.VPN(i)] = region
+	}
+}
+
+// owns reports whether region is still the latest binding of vpn.
+func (r *runner) owns(proc, region string, vpn pt.VPN) bool {
+	return r.claims[proc][vpn] == region
+}
+
+// spawn starts thread wi on its core.
+func (r *runner) spawn(wi int) {
+	t := r.sc.Threads[wi]
+	p := r.procs[t.Proc]
+	r.spawned[wi] = true
+	p.Spawn(topo.CoreID(t.Core), r.program(wi))
+}
+
+// RunScenario executes sc once under cfg and applies every per-run oracle
+// check. The returned Outcome carries the canonical final state for the
+// cross-policy comparator.
+func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
+	out := Outcome{Scenario: sc.Name, Policy: cfg.Policy, Topo: cfg.Topo, Chaos: cfg.Chaos}
+	spec, err := topoByName(cfg.Topo)
+	if err != nil {
+		out.Failures = append(out.Failures, err.Error())
+		return out
+	}
+	if sc.MinCores() > spec.NumCores() {
+		out.Skipped = true
+		return out
+	}
+	if err := sc.Validate(); err != nil {
+		out.Failures = append(out.Failures, err.Error())
+		return out
+	}
+
+	var prof chaos.Profile
+	if cfg.Chaos != "" {
+		if prof, err = chaos.ProfileByName(cfg.Chaos); err != nil {
+			out.Failures = append(out.Failures, err.Error())
+			return out
+		}
+	}
+	pol, err := newPolicy(cfg.Policy, prof)
+	if err != nil {
+		out.Failures = append(out.Failures, err.Error())
+		return out
+	}
+	k := kernel.New(spec, cost.Default(spec), pol, kernel.Options{
+		Seed:  cfg.Seed ^ 0x11d7c0de,
+		Audit: true,
+	})
+	if cfg.Chaos != "" {
+		chaos.NewInjector(cfg.Seed^0xc4a05, prof).Install(k)
+	}
+
+	r := &runner{
+		k:       k,
+		sc:      sc,
+		procs:   map[string]*kernel.Process{"": k.NewProcess()},
+		regions: map[string]map[string]*regionInfo{"": {}},
+		claims:  map[string]map[pt.VPN]string{"": {}},
+		pending: map[string][]int{},
+		spawned: make([]bool, len(sc.Threads)),
+		done:    make([]bool, len(sc.Threads)),
+		faults:  make([]int, len(sc.Threads)),
+	}
+	// The exact oracle (reference model + fault-count predictions) applies
+	// only to deterministic-phase runs: chaos injection legitimately
+	// stretches the window in which lazy policies serve stale (still-safe)
+	// translations, so fault counts and op interleavings become
+	// schedule-dependent. Chaos runs — like racy scenarios — are checked
+	// against the safety properties alone.
+	if !sc.Racy && cfg.Chaos == "" {
+		r.model = NewModel()
+	}
+	for ti, t := range sc.Threads {
+		if t.Proc == "" {
+			r.spawn(ti)
+		} else {
+			r.pending[t.Proc] = append(r.pending[t.Proc], ti)
+		}
+	}
+
+	// Execute until every thread exits (or the deadline declares deadlock),
+	// then drain: lazy policies need reclaim delays and sweep ticks to pass
+	// before the architectural state converges.
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = 200 * sim.Millisecond
+	}
+	step := 2 * sim.Millisecond
+	for k.Now() < deadline && k.LiveThreads() > 0 {
+		k.Run(k.Now() + step)
+	}
+	if k.LiveThreads() > 0 {
+		out.Deadlocked = true
+	}
+	drain := 15 * sim.Millisecond
+	if cfg.Chaos != "" {
+		drain = 60 * sim.Millisecond
+	}
+	k.Run(k.Now() + drain)
+
+	// Collect.
+	out.Faults = r.faults
+	out.EngineFP = k.Engine.Fingerprint()
+	out.FramesInUse = k.Alloc.TotalInUse()
+	if k.Audit != nil {
+		out.Violations = int(k.Audit.Total())
+		if out.Violations > 0 {
+			out.AuditReport = k.Audit.Render()
+		}
+	}
+	out.Final = r.kernelFinal()
+	for _, p := range r.procs {
+		snap := k.SnapshotMM(p.MM)
+		out.LazyPages += snap.LazyPages
+		out.Orphans += snap.Orphans
+	}
+	out.Failures = append(out.Failures, r.failures...)
+
+	// Per-run oracle checks.
+	for ti := range sc.Threads {
+		if !r.spawned[ti] {
+			out.Failures = append(out.Failures, fmt.Sprintf("thread %d never spawned (fork %q missing?)", ti, sc.Threads[ti].Proc))
+		} else if !r.done[ti] {
+			out.Failures = append(out.Failures, fmt.Sprintf("thread %d did not finish (deadlock)", ti))
+		}
+	}
+	if out.Violations > 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("%d coherence violation(s):\n%s", out.Violations, out.AuditReport))
+	}
+	if out.Orphans > 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("%d orphan mapping(s) outside every VMA", out.Orphans))
+	}
+	if out.LazyPages > 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("%d lazy VA page(s) never reclaimed after drain", out.LazyPages))
+	}
+	if r.model != nil {
+		if want := r.model.Final(); out.Final != want {
+			out.Failures = append(out.Failures, fmt.Sprintf("final state diverges from reference model:\n  kernel: %s\n  model:  %s", out.Final, want))
+		}
+		if want := r.model.FramesInUse(); out.FramesInUse != want {
+			out.Failures = append(out.Failures, fmt.Sprintf("frames in use %d, model says %d (leak or early free)", out.FramesInUse, want))
+		}
+	}
+	r.checkExpects(&out)
+	return out
+}
+
+// kernelFinal renders the kernel's final architectural state in the same
+// region-relative form as Model.Final, and appends a marker for any present
+// pages not attributable to a known region (which the model never has).
+func (r *runner) kernelFinal() string {
+	var procLabels []string
+	for p := range r.procs {
+		procLabels = append(procLabels, p)
+	}
+	sort.Strings(procLabels)
+	var b strings.Builder
+	for _, pl := range procLabels {
+		p := r.procs[pl]
+		snap := r.k.SnapshotMM(p.MM)
+		present := map[pt.VPN]kernel.PresentPage{}
+		for _, pg := range snap.Pages {
+			present[pg.VPN] = pg
+		}
+		var regLabels []string
+		for l := range r.regions[pl] {
+			regLabels = append(regLabels, l)
+		}
+		sort.Strings(regLabels)
+		attributed := 0
+		for _, l := range regLabels {
+			ri := r.regions[pl][l]
+			fmt.Fprintf(&b, "%s/%s=", pl, l)
+			for i := 0; i < ri.pages; i++ {
+				vpn := ri.base + pt.VPN(i)
+				if !r.owns(pl, l, vpn) {
+					// The VA was reused by a newer region: this one is dead
+					// here, exactly as the model's absent/no-VMA state.
+					b.WriteByte('.')
+					continue
+				}
+				if pg, ok := present[vpn]; ok {
+					attributed++
+					if pg.Writable {
+						b.WriteByte('w')
+					} else {
+						b.WriteByte('r')
+					}
+					continue
+				}
+				if _, ok := p.MM.Space.Find(vpn); ok {
+					b.WriteByte('o')
+				} else {
+					b.WriteByte('.')
+				}
+			}
+			b.WriteByte(';')
+		}
+		if extra := len(snap.Pages) - attributed; extra > 0 {
+			fmt.Fprintf(&b, "%s/!unattributed=%d;", pl, extra)
+		}
+	}
+	return b.String()
+}
+
+// checkExpects applies the scenario's declarative post-conditions.
+func (r *runner) checkExpects(out *Outcome) {
+	for _, e := range r.sc.Expects {
+		switch e.Kind {
+		case ExpectMapped:
+			got := r.mappedPages(e.Proc, e.Region)
+			if got != e.N {
+				out.Failures = append(out.Failures, fmt.Sprintf("expect mapped %s:%s %d, got %d", e.Proc, e.Region, e.N, got))
+			}
+		case ExpectFaults:
+			if r.model == nil {
+				// Racy or chaos run: fault totals are schedule-dependent.
+				continue
+			}
+			total := 0
+			for _, f := range r.faults {
+				total += f
+			}
+			if total != e.N {
+				out.Failures = append(out.Failures, fmt.Sprintf("expect faults %d, got %d", e.N, total))
+			}
+		}
+	}
+}
+
+// mappedPages counts present pages of one region in the kernel.
+func (r *runner) mappedPages(proc, region string) int {
+	p, ok := r.procs[proc]
+	if !ok {
+		return 0
+	}
+	ri, ok := r.regions[proc][region]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for i := 0; i < ri.pages; i++ {
+		vpn := ri.base + pt.VPN(i)
+		if !r.owns(proc, region, vpn) {
+			continue
+		}
+		if _, ok := p.MM.PT.GetHuge(vpn); ok {
+			n++
+			continue
+		}
+		if e, ok := p.MM.PT.Get(vpn); ok && e.Present {
+			n++
+		}
+	}
+	return n
+}
+
+// ComparePolicies is the cross-policy differential comparator: every
+// non-skipped outcome of the same (scenario, topology, chaos) cell must
+// agree on the converged architectural state — region shapes, per-thread
+// fault counts, and live frame count. Racy scenarios are exempt (their
+// interleavings legitimately differ); their per-run safety checks already
+// ran. Returns human-readable mismatch reports.
+func ComparePolicies(sc *Scenario, outs []Outcome) []string {
+	if sc.Racy || (len(outs) > 0 && outs[0].Chaos != "") {
+		// Racy interleavings and chaos schedules legitimately differ per
+		// policy; their per-run safety checks already ran.
+		return nil
+	}
+	var ref *Outcome
+	var diffs []string
+	for i := range outs {
+		o := &outs[i]
+		if o.Skipped {
+			continue
+		}
+		if ref == nil {
+			ref = o
+			continue
+		}
+		if o.Final != ref.Final {
+			diffs = append(diffs, fmt.Sprintf("%s: final state diverges from %s:\n  %s: %s\n  %s: %s",
+				o.Key(), ref.Policy, ref.Policy, ref.Final, o.Policy, o.Final))
+		}
+		if fmt.Sprint(o.Faults) != fmt.Sprint(ref.Faults) {
+			diffs = append(diffs, fmt.Sprintf("%s: per-thread faults %v differ from %s's %v",
+				o.Key(), o.Faults, ref.Policy, ref.Faults))
+		}
+		if o.FramesInUse != ref.FramesInUse {
+			diffs = append(diffs, fmt.Sprintf("%s: %d frames in use, %s has %d",
+				o.Key(), o.FramesInUse, ref.Policy, ref.FramesInUse))
+		}
+	}
+	return diffs
+}

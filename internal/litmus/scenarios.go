@@ -1,0 +1,391 @@
+package litmus
+
+// The handwritten litmus corpus. Each scenario targets one coherence
+// mechanism: demand paging, protection changes, partial unmaps, remaps,
+// huge mappings, the full-flush threshold, forced-sync opt-out, lazy VA
+// reuse, fork/CoW, cross-core shootdowns (phased so they stay deterministic
+// and cross-policy comparable), context-switch sweeps, and — marked racy —
+// genuinely racing unmap/touch interleavings where only the safety
+// properties are checked.
+//
+// Phasing discipline for multi-thread non-racy scenarios: sleeps of >= 1 ms
+// separate conflicting phases, three orders of magnitude above any
+// policy's syscall latency, so op completion order (and therefore the
+// reference model's prediction) is identical under every policy, topology
+// and seed. Victim threads that must keep stale TLB entries across a
+// shootdown run `compute` through it: an idle core is lazy-TLB skipped and
+// flushed on wake, which would hide the very staleness being tested.
+
+// Scenarios returns the built-in handwritten litmus suite.
+func Scenarios() []*Scenario {
+	out := make([]*Scenario, 0, len(scenarioTexts))
+	for _, text := range scenarioTexts {
+		out = append(out, MustParse(text))
+	}
+	return out
+}
+
+// ScenarioByName returns one built-in scenario.
+func ScenarioByName(name string) *Scenario {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}
+
+var scenarioTexts = []string{
+	// -- Single-thread address-space basics -------------------------------
+
+	`litmus basic-mmap-touch
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  munmap A
+expect mapped A 0
+expect faults 0
+`,
+
+	`litmus demand-paging
+thread 0
+  mmap A 8
+  write A 0 8
+  read A 0 8
+expect mapped A 8
+expect faults 0
+`,
+
+	`litmus madvise-refault
+thread 0
+  mmap A 8 pop
+  madvise A 0 4
+  read A 0 8
+expect mapped A 8
+expect faults 0
+`,
+
+	`litmus mprotect-ro-fault
+thread 0
+  mmap A 4 pop
+  mprotect A 0 4 ro
+  write A 0 4
+  read A 0 4
+expect mapped A 4
+expect faults 4
+`,
+
+	`litmus mprotect-rw-upgrade
+thread 0
+  mmap A 4 ro
+  read A 0 4
+  write A 0 4
+  mprotect A 0 4 rw
+  write A 0 4
+expect mapped A 4
+expect faults 4
+`,
+
+	`litmus partial-munmap-hole
+thread 0
+  mmap A 8 pop
+  munmap A 2 4
+  read A 0 8
+expect mapped A 4
+expect faults 4
+`,
+
+	`litmus segv-unmapped-hole
+thread 0
+  mmap A 4 pop
+  munmap A 1 2
+  write A 0 4
+expect mapped A 2
+expect faults 2
+`,
+
+	`litmus mremap-move
+thread 0
+  mmap A 6 pop
+  madvise A 4 2
+  mremap A
+  read A 0 6
+expect mapped A 6
+expect faults 0
+`,
+
+	`litmus huge-lifecycle
+thread 0
+  mmap H 512 huge
+  write H 0 512
+  read H 0 512
+  munmap H
+expect mapped H 0
+expect faults 0
+`,
+
+	// Unmapping 40 pages crosses the 33-page full-flush threshold; the
+	// bystander region B must survive the full flush via page-table walks.
+	`litmus full-flush-survivor
+thread 0
+  mmap A 40 pop
+  mmap B 4 pop
+  write B 0 4
+  munmap A
+  read B 0 4
+expect mapped A 0
+expect mapped B 4
+expect faults 0
+`,
+
+	// The §7 sync opt-out: a ForceSync munmap must make the VA immediately
+	// reusable even under LATR's lazy reclamation.
+	`litmus force-sync-reuse
+thread 0
+  mmap A 16 pop
+  munmap A sync
+  mmap B 16 pop
+  write B 0 16
+expect mapped A 0
+expect mapped B 16
+expect faults 0
+`,
+
+	// Back-to-back unmap/map churn exercises LATR's lazy VA exclusion:
+	// region B may land on A's old VA (linux) or elsewhere (latr), but the
+	// region-relative final state must agree.
+	`litmus lazy-va-reuse
+thread 0
+  mmap A 8 pop
+  munmap A
+  mmap B 8 pop
+  write B 0 8
+  munmap B
+expect mapped A 0
+expect mapped B 0
+expect faults 0
+`,
+
+	// -- Fork and copy-on-write -------------------------------------------
+
+	`litmus fork-cow-parent-write
+thread 0
+  mmap A 4 pop
+  write A 0 4
+  fork C
+  sleep 2ms
+  write A 0 4
+thread 4 @ C
+  read A 0 4
+expect mapped A 4
+expect mapped C:A 4
+expect faults 0
+`,
+
+	`litmus fork-cow-child-write
+thread 0
+  mmap A 4 pop
+  write A 0 4
+  fork C
+  sleep 3ms
+  read A 0 4
+thread 4 @ C
+  write A 0 4
+expect mapped A 4
+expect mapped C:A 4
+expect faults 0
+`,
+
+	`litmus fork-exit-drain
+thread 0
+  mmap A 4 pop
+  write A 0 4
+  fork C
+  sleep 3ms
+  write A 0 4
+thread 4 @ C
+  write A 0 4
+  exit
+expect mapped A 4
+expect mapped C:A 0
+expect faults 0
+`,
+
+	// Huge mappings are copied eagerly at fork: both sides stay writable
+	// and never CoW-fault.
+	`litmus fork-huge-copy
+thread 0
+  mmap H 512 huge
+  write H 0 512
+  fork C
+  sleep 2ms
+  write H 0 512
+thread 1 @ C
+  write H 0 512
+expect mapped H 512
+expect mapped C:H 512
+expect faults 0
+`,
+
+	// -- Cross-core shootdowns (phased) -----------------------------------
+
+	// Two remote cores cache A, stay busy through the munmap (so they are
+	// genuine IPI/sweep targets), and must segv once coherence converges.
+	`litmus phased-shootdown
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  sleep 2ms
+  munmap A
+thread 2
+  wait A
+  read A 0 8
+  compute 3ms
+  sleep 1ms
+  read A 0 8
+thread 9
+  wait A
+  read A 0 8
+  compute 3ms
+  sleep 1ms
+  read A 0 8
+expect mapped A 0
+expect faults 16
+`,
+
+	// After the shootdown completes, region B immediately recycles A's
+	// frames (the allocator free list is LIFO). Safe under every correct
+	// policy — and the bait the oracle-sensitivity mutants bite on: a
+	// policy that frees early, skips a target, or never frees at all gets
+	// caught by the frame-reuse auditor or the frame accounting.
+	`litmus reuse-after-shootdown
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  sleep 2ms
+  munmap A
+  mmap B 8 pop
+  write B 0 8
+thread 2
+  wait A
+  read A 0 8
+  compute 3ms
+thread 9
+  wait A
+  read A 0 8
+  compute 3ms
+expect mapped A 0
+expect mapped B 8
+expect faults 0
+`,
+
+	// mprotect is synchronous under every policy (Table 1): the victim's
+	// stale writable entries must be gone the moment the call returns.
+	`litmus mprotect-remote-revoke
+thread 0
+  mmap A 4 pop
+  sleep 1500us
+  mprotect A 0 4 ro
+thread 6
+  wait A
+  write A 0 4
+  compute 3ms
+  write A 0 4
+expect mapped A 4
+expect faults 4
+`,
+
+	// Two threads sharing core 0: context switches between them drive the
+	// OnContextSwitch sweep path rather than cross-core IPIs.
+	`litmus ctxswitch-sweep
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  munmap A
+  yield
+  mmap B 8 pop
+  write B 0 8
+  munmap B
+thread 0
+  compute 200us
+  yield
+  compute 200us
+  yield
+  compute 200us
+expect mapped A 0
+expect mapped B 0
+expect faults 0
+`,
+
+	// Eight sockets' worth of victims: only runs on the 120-core topology
+	// (skipped on 2x8 via MinCores) and exercises wide IPI fan-out and
+	// batched sweeps.
+	`litmus wide-shootdown-120
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  sleep 2ms
+  munmap A
+thread 15
+  wait A
+  read A 0 8
+  compute 3ms
+thread 30
+  wait A
+  read A 0 8
+  compute 3ms
+thread 45
+  wait A
+  read A 0 8
+  compute 3ms
+thread 60
+  wait A
+  read A 0 8
+  compute 3ms
+thread 75
+  wait A
+  read A 0 8
+  compute 3ms
+thread 90
+  wait A
+  read A 0 8
+  compute 3ms
+thread 105
+  wait A
+  read A 0 8
+  compute 3ms
+expect mapped A 0
+expect faults 0
+`,
+
+	// -- Racy scenarios: only safety properties are checked ----------------
+
+	`litmus racy-unmap-race
+racy
+thread 0
+  mmap A 16 pop
+  sleep 500us
+  munmap A
+thread 3
+  wait A
+  read A 0 16
+  read A 0 16
+  read A 0 16
+expect mapped A 0
+`,
+
+	`litmus racy-madvise-storm
+racy
+thread 0
+  mmap A 8 pop
+  madvise A 0 8
+  read A 0 8
+  madvise A 0 8
+  read A 0 8
+thread 5
+  wait A
+  write A 0 8
+  write A 0 8
+expect mapped A 8
+`,
+}

@@ -1,0 +1,187 @@
+package litmus
+
+import "latr/internal/sim"
+
+// Greedy shrinking for failing scenarios: repeatedly try structure-reducing
+// edits — drop a thread, drop an op (cascading away anything that depends
+// on a dropped mmap or fork), halve a region, halve a duration — keeping
+// an edit whenever the reduced scenario still fails, until a fixpoint. The
+// predicate must be deterministic (run the scenario under a fixed config
+// and report failure); note the minimized scenario is guaranteed to fail,
+// but possibly for a downstream reason of the original's.
+
+// shrinkBudget caps predicate evaluations so pathological predicates
+// terminate.
+const shrinkBudget = 600
+
+// Shrink minimizes sc against failing, which must be true for sc itself.
+func Shrink(sc *Scenario, failing func(*Scenario) bool) *Scenario {
+	cur := cloneScenario(sc)
+	budget := shrinkBudget
+	try := func(cand *Scenario) bool {
+		if budget <= 0 || cand.Validate() != nil {
+			return false
+		}
+		budget--
+		if !failing(cand) {
+			return false
+		}
+		cur = cand
+		return true
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+		// Drop whole threads, largest index first so fork parents go last.
+		for ti := len(cur.Threads) - 1; ti >= 0; ti-- {
+			if len(cur.Threads) == 1 {
+				break
+			}
+			if try(dropThread(cur, ti)) {
+				improved = true
+			}
+		}
+		// Drop single ops (with dependency cascade).
+		for ti := 0; ti < len(cur.Threads); ti++ {
+			for oi := len(cur.Threads[ti].Ops) - 1; oi >= 0; oi-- {
+				if try(dropOp(cur, ti, oi)) {
+					improved = true
+				}
+			}
+		}
+		// Halve region sizes and durations.
+		for ti := range cur.Threads {
+			for oi := range cur.Threads[ti].Ops {
+				op := cur.Threads[ti].Ops[oi]
+				switch {
+				case op.Kind == OpMmap && !op.Huge && op.Pages > 1:
+					if try(halveRegion(cur, op.Region, op.Pages/2)) {
+						improved = true
+					}
+				case (op.Kind == OpCompute || op.Kind == OpSleep) && op.Dur > sim.Microsecond:
+					if try(halveDur(cur, ti, oi)) {
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+func cloneScenario(sc *Scenario) *Scenario {
+	c := &Scenario{Name: sc.Name, Racy: sc.Racy}
+	for _, t := range sc.Threads {
+		ct := Thread{Core: t.Core, Proc: t.Proc}
+		ct.Ops = append(ct.Ops, t.Ops...)
+		c.Threads = append(c.Threads, ct)
+	}
+	c.Expects = append(c.Expects, sc.Expects...)
+	return c
+}
+
+// dropThread removes thread ti plus everything orphaned by it: ops on
+// regions it mmaps, expects on those regions, and threads of processes it
+// forks.
+func dropThread(sc *Scenario, ti int) *Scenario {
+	c := cloneScenario(sc)
+	dead := c.Threads[ti]
+	c.Threads = append(c.Threads[:ti], c.Threads[ti+1:]...)
+	for _, op := range dead.Ops {
+		switch op.Kind {
+		case OpMmap:
+			c = dropRegionRefs(c, op.Region)
+		case OpFork:
+			c = dropProc(c, op.Proc)
+		}
+	}
+	return c
+}
+
+// dropOp removes one op and cascades its dependents.
+func dropOp(sc *Scenario, ti, oi int) *Scenario {
+	c := cloneScenario(sc)
+	op := c.Threads[ti].Ops[oi]
+	ops := c.Threads[ti].Ops
+	c.Threads[ti].Ops = append(ops[:oi], ops[oi+1:]...)
+	switch op.Kind {
+	case OpMmap:
+		c = dropRegionRefs(c, op.Region)
+	case OpFork:
+		c = dropProc(c, op.Proc)
+	}
+	return c
+}
+
+// dropRegionRefs removes every remaining reference to a region whose mmap
+// is gone.
+func dropRegionRefs(sc *Scenario, region string) *Scenario {
+	for ti := range sc.Threads {
+		var keep []Op
+		for _, op := range sc.Threads[ti].Ops {
+			if op.Region == region && op.Kind != OpMmap {
+				continue
+			}
+			keep = append(keep, op)
+		}
+		sc.Threads[ti].Ops = keep
+	}
+	var expects []Expect
+	for _, e := range sc.Expects {
+		if e.Kind == ExpectMapped && e.Region == region {
+			continue
+		}
+		expects = append(expects, e)
+	}
+	sc.Expects = expects
+	return sc
+}
+
+// dropProc removes the threads of a no-longer-forked process (and any forks
+// they in turn performed).
+func dropProc(sc *Scenario, proc string) *Scenario {
+	for {
+		removed := false
+		for ti := len(sc.Threads) - 1; ti >= 0; ti-- {
+			if sc.Threads[ti].Proc != proc {
+				continue
+			}
+			sc = dropThread(sc, ti)
+			removed = true
+			break
+		}
+		if !removed {
+			return sc
+		}
+	}
+}
+
+// halveRegion shrinks one region's mmap to newSize, clamping every
+// dependent op's window into the smaller region.
+func halveRegion(sc *Scenario, region string, newSize int) *Scenario {
+	c := cloneScenario(sc)
+	for ti := range c.Threads {
+		for oi := range c.Threads[ti].Ops {
+			op := &c.Threads[ti].Ops[oi]
+			if op.Region != region {
+				continue
+			}
+			if op.Kind == OpMmap {
+				op.Pages = newSize
+				continue
+			}
+			if op.Off >= newSize {
+				op.Off = newSize - 1
+			}
+			if op.Pages > 0 && op.Off+op.Pages > newSize {
+				op.Pages = newSize - op.Off
+			}
+		}
+	}
+	return c
+}
+
+func halveDur(sc *Scenario, ti, oi int) *Scenario {
+	c := cloneScenario(sc)
+	c.Threads[ti].Ops[oi].Dur /= 2
+	return c
+}

@@ -1,0 +1,75 @@
+package litmus
+
+import "testing"
+
+func countOps(sc *Scenario) int {
+	n := 0
+	for _, t := range sc.Threads {
+		n += len(t.Ops)
+	}
+	return n
+}
+
+// TestShrinkStructural minimizes against a purely structural predicate:
+// the result must still satisfy it, still validate, and be minimal (the
+// predicate needs one munmap, which needs its mmap — two ops, one thread).
+func TestShrinkStructural(t *testing.T) {
+	hasMunmap := func(sc *Scenario) bool {
+		for _, th := range sc.Threads {
+			for _, op := range th.Ops {
+				if op.Kind == OpMunmap {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		sc := Generate(seed)
+		if !hasMunmap(sc) {
+			continue
+		}
+		min := Shrink(sc, hasMunmap)
+		if !hasMunmap(min) {
+			t.Fatalf("seed %d: shrunk scenario no longer fails", seed)
+		}
+		if err := min.Validate(); err != nil {
+			t.Fatalf("seed %d: shrunk scenario invalid: %v", seed, err)
+		}
+		if len(min.Threads) != 1 || countOps(min) != 2 {
+			t.Errorf("seed %d: want the minimal mmap+munmap pair, got %d thread(s) / %d op(s):\n%s",
+				seed, len(min.Threads), countOps(min), min)
+		}
+	}
+}
+
+// TestShrinkBehavioral minimizes a real oracle failure: the early-free
+// mutant's auditor violation must survive shrinking, and the junk the bait
+// scenario carries (bystander touches, sleeps) must not.
+func TestShrinkBehavioral(t *testing.T) {
+	sc := ScenarioByName("reuse-after-shootdown")
+	if sc == nil {
+		t.Fatal("scenario missing")
+	}
+	failing := func(s *Scenario) bool {
+		out := RunScenario(s, RunConfig{Policy: "mutant:early-free", Topo: "2x8", Seed: 13})
+		return out.Violations > 0
+	}
+	if !failing(sc) {
+		t.Fatal("bait scenario does not fail under early-free")
+	}
+	min := Shrink(sc, failing)
+	if !failing(min) {
+		t.Fatalf("shrunk scenario no longer fails:\n%s", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+	if before, after := countOps(sc), countOps(min); after > before {
+		t.Errorf("shrinking grew the scenario: %d -> %d ops", before, after)
+	}
+	// One victim core suffices to witness the stale frame reuse.
+	if len(min.Threads) > 2 {
+		t.Errorf("shrunk scenario still has %d threads:\n%s", len(min.Threads), min)
+	}
+}

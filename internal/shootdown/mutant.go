@@ -1,0 +1,144 @@
+package shootdown
+
+import (
+	"fmt"
+	"strings"
+
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/sim"
+)
+
+// Mutant is a deliberately broken variant of the Linux baseline used to
+// prove the litmus differential oracle actually detects coherence bugs
+// (oracle-sensitivity testing): each Mutation disables exactly one piece of
+// the protocol, and the corresponding oracle check — auditor violation,
+// fault-count divergence, or frame accounting — must fire. Never use a
+// mutant outside negative tests.
+type Mutation string
+
+// The injected bug classes.
+const (
+	// MutEarlyFree frees frames and VA at munmap time without any remote
+	// coherence — remote cores keep stale translations to reusable frames.
+	// Detected by the auditor (frame-reuse / stale-use violations).
+	MutEarlyFree Mutation = "early-free"
+	// MutSkipSyncInval completes mprotect/CoW/mremap sync changes without
+	// invalidating remote TLBs — stale-writable entries let writes bypass
+	// new protections. Detected by fault-count divergence from the model.
+	MutSkipSyncInval Mutation = "skip-sync-inval"
+	// MutLeakFrames performs correct coherence but never releases the
+	// unmapped frames or VA. Detected by frame accounting (kernel frames in
+	// use exceed the model's).
+	MutLeakFrames Mutation = "leak-frames"
+	// MutSkipOneTarget drops the highest-numbered core from every shootdown
+	// IPI set — one core's TLB silently stays stale. Detected by the
+	// auditor when the freed frame is reallocated.
+	MutSkipOneTarget Mutation = "skip-one-target"
+)
+
+// Mutations lists every mutation class, for exhaustive sensitivity tests.
+func Mutations() []Mutation {
+	return []Mutation{MutEarlyFree, MutSkipSyncInval, MutLeakFrames, MutSkipOneTarget}
+}
+
+// Mutant wraps the Linux policy with one seeded bug.
+type Mutant struct {
+	Linux
+	mut Mutation
+}
+
+var (
+	_ kernel.Policy   = (*Mutant)(nil)
+	_ kernel.Attacher = (*Mutant)(nil)
+)
+
+// NewMutant builds the mutant policy for one bug class.
+func NewMutant(mut Mutation) (kernel.Policy, error) {
+	switch mut {
+	case MutEarlyFree, MutSkipSyncInval, MutLeakFrames, MutSkipOneTarget:
+		return &Mutant{mut: mut}, nil
+	}
+	var names []string
+	for _, m := range Mutations() {
+		names = append(names, string(m))
+	}
+	return nil, fmt.Errorf("shootdown: unknown mutation %q (have %s)", mut, strings.Join(names, ", "))
+}
+
+// Name implements kernel.Policy.
+func (p *Mutant) Name() string { return "mutant:" + string(p.mut) }
+
+// Munmap implements kernel.Policy with the mutation applied.
+func (p *Mutant) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
+	k := p.k
+	switch p.mut {
+	case MutEarlyFree:
+		// Free everything immediately; no remote invalidation at all.
+		k.ReleaseFrames(u.Frames)
+		if !u.KeepVMA {
+			k.ReleaseVA(u.MM, u.Start, u.Pages)
+		}
+		done()
+	case MutLeakFrames:
+		// Correct coherence, but the frames and VA are never released.
+		targets := k.ShootdownTargets(c, u.MM)
+		if len(targets) == 0 {
+			done()
+			return
+		}
+		k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, done)
+	case MutSkipOneTarget:
+		finish := func() {
+			freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+			c.Busy(freeCost, false, func() {
+				k.ReleaseFrames(u.Frames)
+				if !u.KeepVMA {
+					k.ReleaseVA(u.MM, u.Start, u.Pages)
+				}
+				done()
+			})
+		}
+		targets := dropHighestCore(k.ShootdownTargets(c, u.MM))
+		if len(targets) == 0 {
+			finish()
+			return
+		}
+		k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, finish)
+	default:
+		p.Linux.Munmap(c, u, done)
+	}
+}
+
+// SyncChange implements kernel.Policy with the mutation applied.
+func (p *Mutant) SyncChange(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
+	switch p.mut {
+	case MutSkipSyncInval:
+		// Pretend the remote TLBs were invalidated.
+		done()
+	case MutSkipOneTarget:
+		targets := dropHighestCore(p.k.ShootdownTargets(c, mm))
+		if len(targets) == 0 {
+			done()
+			return
+		}
+		p.k.SendShootdownIPIs(c, mm, start, pages, targets, done)
+	default:
+		p.Linux.SyncChange(c, mm, start, pages, done)
+	}
+}
+
+// dropHighestCore removes the highest-numbered core from the target set —
+// a deterministic "forgot one CPU" bug.
+func dropHighestCore(targets []*kernel.Core) []*kernel.Core {
+	if len(targets) == 0 {
+		return targets
+	}
+	hi := 0
+	for i, t := range targets {
+		if t.ID > targets[hi].ID {
+			hi = i
+		}
+	}
+	return append(targets[:hi], targets[hi+1:]...)
+}

@@ -39,6 +39,7 @@ import (
 	"latr/internal/cost"
 	"latr/internal/experiments"
 	"latr/internal/kernel"
+	"latr/internal/litmus"
 	"latr/internal/metrics"
 	"latr/internal/numa"
 	"latr/internal/pt"
@@ -420,6 +421,64 @@ func RunExperimentMatrix(specs []ExperimentRunSpec, workers int, o ExperimentOpt
 // RunExperimentSpec executes a single matrix cell in isolation.
 func RunExperimentSpec(s ExperimentRunSpec, o ExperimentOptions) ExperimentRunResult {
 	return experiments.RunOne(s, o)
+}
+
+// Litmus testing: small declarative TLB-coherence scenarios run under
+// every policy and checked against a flat reference model plus a
+// cross-policy comparator. See internal/litmus and DESIGN.md §9.
+type (
+	// LitmusScenario is one declarative coherence test.
+	LitmusScenario = litmus.Scenario
+	// LitmusRunConfig selects policy, topology, chaos profile and seed for
+	// one litmus run.
+	LitmusRunConfig = litmus.RunConfig
+	// LitmusOutcome is the canonical result of one litmus run.
+	LitmusOutcome = litmus.Outcome
+	// LitmusSuiteConfig shapes a full suite cross.
+	LitmusSuiteConfig = litmus.SuiteConfig
+	// LitmusSuiteReport aggregates a suite run.
+	LitmusSuiteReport = litmus.SuiteReport
+)
+
+// LitmusPolicies lists the policies a litmus suite crosses by default.
+func LitmusPolicies() []string {
+	return append([]string(nil), litmus.DefaultPolicies...)
+}
+
+// LitmusScenarios returns the handwritten litmus corpus.
+func LitmusScenarios() []*LitmusScenario { return litmus.Scenarios() }
+
+// LitmusScenarioByName finds a handwritten scenario (nil if unknown).
+func LitmusScenarioByName(name string) *LitmusScenario { return litmus.ScenarioByName(name) }
+
+// GenerateLitmus builds count deterministic randomized scenarios from
+// consecutive seeds starting at seed.
+func GenerateLitmus(seed uint64, count int) []*LitmusScenario {
+	return litmus.GenerateMany(seed, count)
+}
+
+// ParseLitmus parses the compact litmus text format.
+func ParseLitmus(text string) (*LitmusScenario, error) { return litmus.Parse(text) }
+
+// LitmusFromBytes derives a race-free scenario from raw bytes (the fuzz
+// entry point; same grammar as GenerateLitmus).
+func LitmusFromBytes(data []byte) *LitmusScenario { return litmus.FromBytes(data) }
+
+// RunLitmus executes one scenario under one configuration.
+func RunLitmus(sc *LitmusScenario, cfg LitmusRunConfig) LitmusOutcome {
+	return litmus.RunScenario(sc, cfg)
+}
+
+// RunLitmusSuite fans scenarios across the policy × topology × chaos
+// cross and aggregates per-run and cross-policy failures.
+func RunLitmusSuite(scs []*LitmusScenario, cfg LitmusSuiteConfig) *LitmusSuiteReport {
+	return litmus.RunSuite(scs, cfg)
+}
+
+// ShrinkLitmus greedily minimizes a scenario while the failing predicate
+// keeps holding.
+func ShrinkLitmus(sc *LitmusScenario, failing func(*LitmusScenario) bool) *LitmusScenario {
+	return litmus.Shrink(sc, failing)
 }
 
 // Fig2Timeline renders the Fig 2 munmap timelines (Linux, then LATR).
