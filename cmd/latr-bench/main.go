@@ -9,9 +9,11 @@
 //	latr-bench -quick               # smaller runs, same shapes
 //	latr-bench -ablations           # run the ablation studies
 //	latr-bench -parallel 8          # fan each experiment's runs across 8 workers
+//	latr-bench -exp remote -json    # also write BENCH_remote.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,36 @@ import (
 	"latr"
 )
 
+// jsonTable is the machine-readable form of one experiment, written to
+// BENCH_<id>.json under -json so CI can archive result baselines.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Quick   bool       `json:"quick"`
+	Seed    uint64     `json:"seed"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	WallSec float64    `json:"wall_sec"`
+}
+
+func writeJSON(tbl *latr.ExperimentTable, o latr.ExperimentOptions, wall float64) error {
+	data, err := json.MarshalIndent(jsonTable{
+		ID:      tbl.ID,
+		Title:   tbl.Title,
+		Quick:   o.Quick,
+		Seed:    o.Seed,
+		Columns: tbl.Columns,
+		Rows:    tbl.Rows,
+		Notes:   tbl.Notes,
+		WallSec: wall,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+tbl.ID+".json", append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
 		list      = flag.Bool("list", false, "list experiment ids and exit")
@@ -31,6 +63,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		check     = flag.Bool("check", false, "enable the TLB reuse-invariant checker (slower)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for each experiment's independent runs (1 = sequential)")
+		emitJSON  = flag.Bool("json", false, "also write BENCH_<id>.json for each experiment run")
 	)
 	flag.Parse()
 
@@ -47,8 +80,9 @@ func main() {
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	} else if !*ablations {
-		// Default set: the paper's tables and figures, without ablations.
-		ids = ids[:14]
+		// Default set: the paper's tables, figures and case studies,
+		// without ablations.
+		ids = latr.PaperExperiments()
 	}
 
 	for _, id := range ids {
@@ -59,7 +93,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Seconds()
 		fmt.Println(tbl)
-		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(wall time %.1fs)\n\n", wall)
+		if *emitJSON {
+			if err := writeJSON(tbl, o, wall); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 }

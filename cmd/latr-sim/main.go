@@ -21,6 +21,13 @@
 //	latr-sim -litmus
 //	latr-sim -litmus -litmus-gen 200 -policies linux,latr
 //	latr-sim -litmus -litmus-run reuse-after-shootdown -v
+//
+// Remote mode runs the §6.2 Infiniswap case study: a memcached-like KV
+// server whose arena exceeds local memory, paging over the RDMA backend,
+// with per-request tail latency reported at the end:
+//
+//	latr-sim -remote -policy latr -duration 200ms
+//	latr-sim -remote -policy linux -machine 8x15 -remote-frames 2000
 package main
 
 import (
@@ -78,6 +85,9 @@ func main() {
 		seeds     = flag.String("seeds", "1,2", "matrix: comma-separated seeds")
 		verifySeq = flag.Bool("verify-seq", false, "matrix: re-run sequentially and fail unless all fingerprints are byte-identical")
 
+		remoteOn = flag.Bool("remote", false, "run the remote-memory paging case study (memcached over the RDMA backend) instead of a plain workload")
+		remoteFr = flag.Int64("remote-frames", 0, "remote: cap the remote node's frame pool (0 = unbounded)")
+
 		litmusOn   = flag.Bool("litmus", false, "run the litmus corpus through the differential oracle instead of a workload")
 		litmusGen  = flag.Int("litmus-gen", 0, "litmus: also run this many generated scenarios")
 		litmusSeed = flag.Uint64("litmus-seed", 1000, "litmus: first seed for generated scenarios")
@@ -106,6 +116,19 @@ func main() {
 			seed:     *seed,
 			parallel: *parallel,
 			verbose:  *verbose,
+		}))
+	}
+
+	if *remoteOn {
+		os.Exit(runRemote(remoteFlags{
+			machine:      *machine,
+			policy:       *policy,
+			cores:        *cores,
+			duration:     latr.Time(duration.Nanoseconds()),
+			seed:         *seed,
+			check:        *check,
+			dump:         *dump,
+			remoteFrames: *remoteFr,
 		}))
 	}
 
@@ -312,6 +335,104 @@ func runMatrix(f matrixFlags) int {
 		if mismatches > 0 {
 			return 1
 		}
+	}
+	return 0
+}
+
+// remoteFlags carries the -remote mode configuration.
+type remoteFlags struct {
+	machine, policy string
+	cores           int
+	duration        latr.Time
+	seed            uint64
+	check, dump     bool
+	remoteFrames    int64
+}
+
+// remoteCores spreads n KV worker cores round-robin across NUMA nodes,
+// skipping core 0 (the swapper's), so evictions shoot down cross-socket
+// TLBs — the configuration the case study measures.
+func remoteCores(spec latr.MachineSpec, n int) ([]latr.CoreID, error) {
+	byNode := make([][]latr.CoreID, spec.NumNodes())
+	for c := 0; c < spec.NumCores(); c++ {
+		if c == 0 {
+			continue
+		}
+		node := int(spec.NodeOf(latr.CoreID(c)))
+		byNode[node] = append(byNode[node], latr.CoreID(c))
+	}
+	var out []latr.CoreID
+	for idx := 0; len(out) < n; idx++ {
+		progressed := false
+		for _, cores := range byNode {
+			if idx < len(cores) {
+				out = append(out, cores[idx])
+				progressed = true
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("machine has only %d usable cores, want %d", len(out), n)
+		}
+	}
+	return out, nil
+}
+
+// remoteMemFrames shrinks each node's memory below the KV arena so the
+// working set pages over the network — the Infiniswap precondition.
+const remoteMemFrames = 1500
+
+// runRemote executes the §6.2 Infiniswap case study once and prints the
+// request-latency percentiles.
+func runRemote(f remoteFlags) int {
+	spec, err := parseMachine(f.machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	spec.MemPerNodeBytes = remoteMemFrames * 4096
+	cores, err := remoteCores(spec, f.cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sys := latr.NewSystem(latr.Config{
+		Machine: spec,
+		Policy:  latr.PolicyKind(f.policy),
+		Seed:    f.seed,
+		Swap: &latr.SwapConfig{
+			LowWatermarkFrames:  300,
+			HighWatermarkFrames: 500,
+			ScanPeriod:          latr.Millisecond,
+			BatchPages:          512,
+		},
+		SwapBackend:     latr.NewRemoteBackend(latr.RemoteBackendConfig{RemoteFrames: f.remoteFrames}),
+		CheckInvariants: f.check,
+	})
+	cfg := latr.DefaultMemcachedConfig(cores)
+	cfg.Seed = f.seed + 1
+	w := latr.NewMemcached(cfg)
+	w.Setup(sys.Kernel())
+	sys.RegisterAllForNUMA()
+	sys.Run(f.duration)
+	if !w.Loaded() {
+		fmt.Fprintln(os.Stderr, "remote: KV warm-up never finished; raise -duration")
+		return 1
+	}
+	m := sys.Metrics()
+	lat := w.Latency()
+	fmt.Printf("machine=%s policy=%s workload=memcached/remote simulated=%v\n",
+		spec.Name, f.policy, sys.Now())
+	fmt.Printf("requests=%d req/s=%.0f\n", w.Requests(), float64(w.Requests())/f.duration.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v p99.9=%v\n", lat.P50(), lat.P90(), lat.P99(), lat.P999())
+	fmt.Printf("swap out=%d in=%d dropped=%d\n",
+		m.Counter("swap.out"), m.Counter("swap.in"), m.Counter("swap.dropped"))
+	fmt.Printf("remote pool_full=%d inflight_waits=%d\n",
+		m.Counter("remote.pool_full"), m.Counter("remote.inflight_waits"))
+	if f.dump {
+		fmt.Print(m.Dump())
 	}
 	return 0
 }

@@ -127,16 +127,24 @@ func TestDifferentialRandomStreams(t *testing.T) {
 }
 
 // FuzzLitmusDifferential feeds arbitrary bytes through the litmus scenario
-// grammar (LitmusFromBytes keeps every derived scenario race-free, so the
-// exact oracle applies) and runs the result under Linux and LATR: each run
-// must match the flat reference model, the two policies must agree on the
-// region-relative final state, and — implicitly, via the always-on audit
-// mode — no coherence invariant may break.
+// grammar (LitmusFromBytes keeps every derived scenario race-free) and runs
+// the result under Linux and LATR. Most inputs get the exact oracle: each
+// run must match the flat reference model and the two policies must agree
+// on the region-relative final state. Roughly one input in eight draws the
+// swap directive instead — the scenario then runs under memory pressure
+// with the remote-paging swapper, where eviction timing is policy-dependent
+// and only the safety properties (plus deterministic mapped post-conditions)
+// are checked. Either way the always-on audit mode means no coherence
+// invariant may break.
 func FuzzLitmusDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 3, 0, 0, 2, 0, 0, 1, 16, 0, 0, 4})
 	f.Add([]byte{2, 1, 7, 1, 1, 5, 11, 2, 3, 13, 0, 2, 16, 3, 1, 9, 4, 2, 255, 0, 8})
 	f.Add([]byte("litmus is not parsed here, just raw entropy"))
+	// First byte ≡ 1 (mod 8) turns on the swap draw: generated churn runs
+	// concurrently with eviction, remote refault, and Drop traffic.
+	f.Add([]byte{9, 2, 5, 0, 9, 3, 1, 14, 0, 4, 16, 7, 2, 200, 1, 6})
+	f.Add([]byte{17, 1, 0, 40, 9, 0, 5, 16, 0, 3, 8, 8, 8})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc := latr.LitmusFromBytes(data)
 		rep := latr.RunLitmusSuite([]*latr.LitmusScenario{sc}, latr.LitmusSuiteConfig{

@@ -142,6 +142,32 @@ type Model struct {
 	MsgPollPeriod sim.Time
 	// MsgHandle is remote dequeue + invalidation bookkeeping.
 	MsgHandle sim.Time
+
+	// --- Remote-memory paging (anchor: §6.2 — Infiniswap-style RDMA
+	// backend; one-sided 4 KB verbs land in the low single-digit µs on
+	// FDR/EDR fabrics, and the paper's argument is that Linux serializes
+	// the ~6 µs @16-core shootdown *before* this write while LATR
+	// overlaps it with lazy reclamation) ---
+
+	// RDMAPostCost is the initiator CPU cost to build and ring one
+	// one-sided work request (no remote CPU involvement).
+	RDMAPostCost sim.Time
+	// RDMAWriteLatency is the wire + remote-NIC latency of a one-sided
+	// 4 KB RDMA write (swap-out), excluding serialization and queueing.
+	RDMAWriteLatency sim.Time
+	// RDMAReadLatency is the same for a one-sided 4 KB read (swap-in);
+	// reads pay the full round trip for the payload, hence slower.
+	RDMAReadLatency sim.Time
+	// RDMAPagePeriod is the NIC serialization time of one 4 KB page
+	// (~56 Gb/s FDR ≈ 585 ns/page; calibrated slightly above for
+	// protocol overhead). Back-to-back pages queue behind it.
+	RDMAPagePeriod sim.Time
+	// RemoteServePeriod is the remote memory node's per-page service
+	// occupancy (its NIC/DMA engine), the second queueing stage.
+	RemoteServePeriod sim.Time
+	// RemoteFallbackPerPage is the disk-path cost paid when the remote
+	// frame pool is exhausted (Infiniswap falls back to local disk).
+	RemoteFallbackPerPage sim.Time
 }
 
 // Default returns the calibrated model for a machine spec. A single set of
@@ -196,6 +222,13 @@ func Default(spec topo.Spec) Model {
 		MsgSendPerTarget: 90,
 		MsgPollPeriod:    2 * sim.Microsecond,
 		MsgHandle:        220,
+
+		RDMAPostCost:          300,
+		RDMAWriteLatency:      3 * sim.Microsecond,
+		RDMAReadLatency:       5 * sim.Microsecond,
+		RDMAPagePeriod:        700,
+		RemoteServePeriod:     500,
+		RemoteFallbackPerPage: 8 * sim.Microsecond,
 	}
 	if spec.Sockets > 2 {
 		// The E7-8870v2's bigger uncore and directory coherence slow both
@@ -203,6 +236,11 @@ func Default(spec topo.Spec) Model {
 		m.MunmapContentionPerCore = 300
 		m.DRAMRemote = 280
 		m.PageCopy = 800
+		// The larger cluster also sits behind an older, longer fabric:
+		// one-sided verbs pay roughly 50% more wire latency.
+		m.RDMAWriteLatency = 4500
+		m.RDMAReadLatency = 7500
+		m.RDMAPagePeriod = 900
 	}
 	return m
 }

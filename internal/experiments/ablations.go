@@ -254,7 +254,7 @@ func All(o Options) []*Table {
 	return []*Table{
 		Table1(), Table2(), Table3(),
 		Fig6(o), Fig7(o), Fig8(o), Fig9(o), Fig10(o), Fig11(o), Fig12(o),
-		Table4(o), Table5(o), MemOverhead(o), IPITable(o),
+		Table4(o), Table5(o), MemOverhead(o), IPITable(o), RemoteMemory(o),
 	}
 }
 
@@ -289,6 +289,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return MemOverhead(o), nil
 	case "ipi":
 		return IPITable(o), nil
+	case "remote":
+		return RemoteMemory(o), nil
 	case "abl-depth":
 		return AblationQueueDepth(o), nil
 	case "abl-sweep":
@@ -306,13 +308,20 @@ func ByID(id string, o Options) (*Table, error) {
 	}
 }
 
-// IDs lists all experiment identifiers in paper order.
-func IDs() []string {
+// PaperIDs lists the paper's figure/table experiments (no ablations) in
+// paper order.
+func PaperIDs() []string {
 	return []string{
 		"table1", "table2", "table3",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"table4", "table5", "mem", "ipi",
+		"table4", "table5", "mem", "ipi", "remote",
+	}
+}
+
+// IDs lists all experiment identifiers in paper order.
+func IDs() []string {
+	return append(PaperIDs(),
 		"abl-depth", "abl-sweep", "abl-delay", "abl-transport", "abl-variants",
 		"abl-thp",
-	}
+	)
 }

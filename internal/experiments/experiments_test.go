@@ -185,8 +185,11 @@ func TestByIDAndIDsAgree(t *testing.T) {
 	if _, err := ByID("bogus", quick); err == nil {
 		t.Error("ByID accepted bogus id")
 	}
-	if len(IDs()) != 20 {
+	if len(IDs()) != 21 {
 		t.Errorf("IDs() = %d entries", len(IDs()))
+	}
+	if len(PaperIDs()) != 15 {
+		t.Errorf("PaperIDs() = %d entries", len(PaperIDs()))
 	}
 }
 

@@ -27,6 +27,24 @@ type SwapHandler interface {
 // SetSwapHandler installs the page-swap fault handler.
 func (k *Kernel) SetSwapHandler(h SwapHandler) { k.swap = h }
 
+// SwapUnmapper is an optional SwapHandler extension: the kernel calls
+// OnUnmap whenever a VA range leaves the address space (munmap, the mremap
+// source range, exit teardown) so the handler can discard swap-resident
+// copies and release their device frames. Without it, a later mmap that
+// reuses the VA would wrongly satisfy its first touch from stale swap
+// contents instead of demand-zero memory.
+type SwapUnmapper interface {
+	OnUnmap(mm *MM, start pt.VPN, pages int)
+}
+
+// notifySwapUnmap forwards a VA-range removal to the swap handler, if one
+// is installed and cares.
+func (k *Kernel) notifySwapUnmap(mm *MM, start pt.VPN, pages int) {
+	if su, ok := k.swap.(SwapUnmapper); ok {
+		su.OnUnmap(mm, start, pages)
+	}
+}
+
 // NUMAHandlerInstalled reports whether AutoNUMA is active.
 func (k *Kernel) NUMAHandlerInstalled() bool { return k.numa != nil }
 

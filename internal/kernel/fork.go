@@ -199,6 +199,7 @@ func (k *Kernel) ReleaseAddressSpace(c *Core, th *Thread, p *Process, done func(
 				}
 			}
 			mm.Space.RemoveRange(v.Start, v.End)
+			k.notifySwapUnmap(mm, v.Start, int(v.End-v.Start))
 		}
 		c.TLB.FlushAll()
 		// Pages past the full-flush threshold make every policy (IPI

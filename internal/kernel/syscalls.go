@@ -138,6 +138,7 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 				c.failSyscall(th, ErrNoVMA)
 				return
 			}
+			k.notifySwapUnmap(mm, addr, pages)
 		}
 		var frames []FrameRef
 		hugeEntries := 0
@@ -267,6 +268,7 @@ func (c *Core) doMremap(th *Thread, o OpMremap) {
 			c.failSyscall(th, ErrNoVMA)
 			return
 		}
+		k.notifySwapUnmap(mm, o.Addr, o.Pages)
 		newStart, err := mm.Space.Reserve(o.Pages)
 		if err != nil {
 			mm.Sem.ReleaseWrite()

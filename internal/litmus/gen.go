@@ -89,11 +89,17 @@ func (c *byteChooser) Duration(lo, hi sim.Time) sim.Time {
 
 // FromBytes derives a scenario deterministically from raw bytes — the fuzz
 // entry point. It reuses the seeded generator's grammar and ownership
-// discipline, so every derived scenario is race-free and therefore subject
-// to the full exact oracle, no matter how adversarial the input.
+// discipline, so every derived scenario is race-free and — unless the
+// first draw turns on swap pressure — subject to the full exact oracle, no
+// matter how adversarial the input. Swap draws run under the remote-paging
+// swapper and the safety-only oracle: a dedicated pressure thread maps a
+// working set past the shrunken node memory so the fuzzer actually drives
+// evictions, remote swap-ins, and Drop paths concurrent with the generated
+// address-space churn.
 func FromBytes(data []byte) *Scenario {
 	c := &byteChooser{data: data}
 	sc := &Scenario{Name: "from-bytes"}
+	sc.Swap = c.Intn(8) == 1
 	nThreads := 1 + c.Intn(3)
 	for ti := 0; ti < nThreads; ti++ {
 		t := Thread{Core: (ti * 5) % 16}
@@ -103,6 +109,16 @@ func FromBytes(data []byte) *Scenario {
 			t.Ops = append(t.Ops, genRegionLife(c, label)...)
 		}
 		sc.Threads = append(sc.Threads, t)
+	}
+	if sc.Swap {
+		sc.Threads = append(sc.Threads, Thread{Core: 3, Ops: []Op{
+			{Kind: OpMmap, Region: "SWP", Pages: 700, Populate: true},
+			{Kind: OpTouch, Region: "SWP", Pages: 700, Write: true},
+			{Kind: OpSleep, Dur: 6 * sim.Millisecond},
+			{Kind: OpTouch, Region: "SWP", Pages: 350},
+			{Kind: OpSleep, Dur: 2 * sim.Millisecond},
+			{Kind: OpMunmap, Region: "SWP"},
+		}})
 	}
 	if err := sc.Validate(); err != nil {
 		panic(fmt.Sprintf("litmus: FromBytes produced invalid scenario: %v", err))

@@ -106,7 +106,14 @@ type Scenario struct {
 	// Racy marks scenarios whose operations intentionally race: the oracle
 	// skips the reference model and cross-policy comparison and checks only
 	// the interleaving-independent safety properties.
-	Racy    bool
+	Racy bool
+	// Swap runs the scenario under memory pressure: node memory shrinks
+	// below the scenario's footprint and the page swapper is installed over
+	// the remote-memory backend, so touches trigger evictions, remote
+	// swap-ins, and shootdowns on the swap-out path. When and where the
+	// swapper strikes is policy- and timing-dependent, so — like Racy —
+	// swap scenarios are held to the safety-only oracle.
+	Swap    bool
 	Threads []Thread
 	Expects []Expect
 }
@@ -162,6 +169,12 @@ func (s *Scenario) Validate() error {
 			case OpFork:
 				if op.Proc == "" {
 					return fmt.Errorf("%s: fork without a process label", where)
+				}
+				if s.Swap {
+					// The swapper scans only the root process; a forked
+					// child's pages would sit outside the reclaim set and
+					// muddy what the scenario exercises.
+					return fmt.Errorf("%s: fork not supported in swap scenarios", where)
 				}
 				if forked[op.Proc] {
 					return fmt.Errorf("%s: process %q forked twice", where, op.Proc)

@@ -89,6 +89,55 @@ func TestChaosTier(t *testing.T) {
 	}
 }
 
+// TestSwapScenariosExerciseRemotePaging proves the swap directive does
+// what it claims: every handwritten swap scenario must trigger evictions
+// under both the eager and the lazy policy, the refaulting ones must swap
+// pages back in over the remote backend, and none may trip the safety
+// oracle.
+func TestSwapScenariosExerciseRemotePaging(t *testing.T) {
+	refaulting := map[string]bool{
+		"swap-evict-refault":     true,
+		"swap-concurrent-swapin": true,
+	}
+	ran := 0
+	for _, sc := range Scenarios() {
+		if !sc.Swap {
+			continue
+		}
+		ran++
+		for _, pol := range []string{"linux", "latr"} {
+			out := RunScenario(sc, RunConfig{Policy: pol, Topo: "2x8", Seed: 13})
+			for _, f := range out.Failures {
+				t.Errorf("%s: %s", out.Key(), f)
+			}
+			if out.SwapOuts == 0 {
+				t.Errorf("%s: no evictions — the scenario is not creating pressure", out.Key())
+			}
+			if refaulting[sc.Name] && out.SwapIns == 0 {
+				t.Errorf("%s: no swap-ins — the re-touch never refaulted", out.Key())
+			}
+		}
+	}
+	if ran < 4 {
+		t.Fatalf("only %d swap scenarios in the corpus, want >= 4", ran)
+	}
+}
+
+// TestSwapRejectsFork pins the Validate rule: swap scenarios cannot fork.
+func TestSwapRejectsFork(t *testing.T) {
+	_, err := Parse(`litmus swap-fork
+swap
+thread 0
+  mmap A 4 pop
+  fork C
+thread 1 @ C
+  read A 0 4
+`)
+	if err == nil {
+		t.Fatal("fork inside a swap scenario must be rejected")
+	}
+}
+
 // TestRunUnknowns covers config error paths.
 func TestRunUnknowns(t *testing.T) {
 	sc := ScenarioByName("basic-mmap-touch")

@@ -12,6 +12,8 @@ import (
 //
 //	litmus <name>
 //	racy                          # optional: mark as intentionally racing
+//	swap                          # optional: run under memory pressure with
+//	                              # the remote-paging swapper (safety-only)
 //	thread <core> [@ <proc>]      # @ names the forked process it runs in
 //	  mmap A 8 pop                # rw by default; flags: pop, ro, huge
 //	  write A 0 8                 # read|write <region> <off> <pages>
@@ -57,6 +59,8 @@ func Parse(text string) (*Scenario, error) {
 			sc.Name = f[1]
 		case "racy":
 			sc.Racy = true
+		case "swap":
+			sc.Swap = true
 		case "thread":
 			if len(f) != 2 && !(len(f) == 4 && f[2] == "@") {
 				return fail("want 'thread <core>' or 'thread <core> @ <proc>'")
@@ -270,6 +274,9 @@ func (s *Scenario) String() string {
 	fmt.Fprintf(&b, "litmus %s\n", s.Name)
 	if s.Racy {
 		b.WriteString("racy\n")
+	}
+	if s.Swap {
+		b.WriteString("swap\n")
 	}
 	for _, t := range s.Threads {
 		if t.Proc != "" {

@@ -10,8 +10,10 @@ import (
 	"latr/internal/cost"
 	"latr/internal/kernel"
 	"latr/internal/pt"
+	"latr/internal/remote"
 	"latr/internal/shootdown"
 	"latr/internal/sim"
+	"latr/internal/swap"
 	"latr/internal/topo"
 )
 
@@ -83,6 +85,10 @@ type Outcome struct {
 	LazyPages   int
 	Orphans     int
 	EngineFP    uint64
+	// SwapOuts/SwapIns count eviction and refault traffic (zero unless the
+	// scenario carries the swap directive).
+	SwapOuts uint64
+	SwapIns  uint64
 
 	// Failures lists every oracle check this run failed; empty = pass.
 	Failures []string
@@ -103,8 +109,8 @@ func (o Outcome) Key() string {
 // Digest folds the determinism-relevant parts of the outcome into a string
 // fingerprinted by the suite.
 func (o Outcome) digest() string {
-	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x",
-		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP)
+	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x|%d|%d",
+		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP, o.SwapOuts, o.SwapIns)
 }
 
 // regionInfo binds a symbolic region label to its concrete placement in one
@@ -146,6 +152,23 @@ func (r *runner) failf(format string, args ...any) {
 // waitRetry is the poll interval for ops blocked on a region another thread
 // has not created yet. Virtual-time polling is deterministic.
 const waitRetry = 20 * sim.Microsecond
+
+// swapMemFrames is each node's frame budget in swap scenarios: small
+// enough that an ~900-page working set forces eviction, large enough that
+// the hot half survives under the high watermark.
+const swapMemFrames = 1024
+
+// allDone reports whether every scenario thread has spawned and finished.
+// Swap runs terminate on this rather than LiveThreads: the swapper's
+// kernel thread never exits.
+func (r *runner) allDone() bool {
+	for ti := range r.done {
+		if !r.spawned[ti] || !r.done[ti] {
+			return false
+		}
+	}
+	return true
+}
 
 // program builds the kernel Program interpreting thread ti.
 func (r *runner) program(ti int) kernel.Program {
@@ -366,12 +389,25 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 		out.Failures = append(out.Failures, err.Error())
 		return out
 	}
+	if sc.Swap {
+		spec.MemPerNodeBytes = swapMemFrames * 4096
+	}
 	k := kernel.New(spec, cost.Default(spec), pol, kernel.Options{
 		Seed:  cfg.Seed ^ 0x11d7c0de,
 		Audit: true,
 	})
 	if cfg.Chaos != "" {
 		chaos.NewInjector(cfg.Seed^0xc4a05, prof).Install(k)
+	}
+	var sw *swap.Swapper
+	if sc.Swap {
+		sw = swap.NewWithBackend(swap.Config{
+			LowWatermarkFrames:  300,
+			HighWatermarkFrames: 500,
+			ScanPeriod:          sim.Millisecond,
+			BatchPages:          256,
+		}, remote.New(remote.Config{}))
+		sw.Install(k)
 	}
 
 	r := &runner{
@@ -389,10 +425,13 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 	// only to deterministic-phase runs: chaos injection legitimately
 	// stretches the window in which lazy policies serve stale (still-safe)
 	// translations, so fault counts and op interleavings become
-	// schedule-dependent. Chaos runs — like racy scenarios — are checked
-	// against the safety properties alone.
-	if !sc.Racy && cfg.Chaos == "" {
+	// schedule-dependent. Chaos runs — like racy and swap scenarios — are
+	// checked against the safety properties alone.
+	if !sc.Racy && !sc.Swap && cfg.Chaos == "" {
 		r.model = NewModel()
+	}
+	if sw != nil {
+		sw.Register(r.procs[""])
 	}
 	for ti, t := range sc.Threads {
 		if t.Proc == "" {
@@ -404,19 +443,32 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 
 	// Execute until every thread exits (or the deadline declares deadlock),
 	// then drain: lazy policies need reclaim delays and sweep ticks to pass
-	// before the architectural state converges.
+	// before the architectural state converges. Swap runs terminate on the
+	// scenario threads alone — the swapper's kernel thread never exits, so
+	// LiveThreads never reaches zero.
 	deadline := cfg.Deadline
 	if deadline <= 0 {
 		deadline = 200 * sim.Millisecond
 	}
+	running := func() bool {
+		if sc.Swap {
+			return !r.allDone()
+		}
+		return k.LiveThreads() > 0
+	}
 	step := 2 * sim.Millisecond
-	for k.Now() < deadline && k.LiveThreads() > 0 {
+	for k.Now() < deadline && running() {
 		k.Run(k.Now() + step)
 	}
-	if k.LiveThreads() > 0 {
+	if running() {
 		out.Deadlocked = true
 	}
 	drain := 15 * sim.Millisecond
+	if sc.Swap {
+		// In-flight RDMA writes and post-eviction lazy reclamation need
+		// extra sweep epochs before the state converges.
+		drain = 30 * sim.Millisecond
+	}
 	if cfg.Chaos != "" {
 		drain = 60 * sim.Millisecond
 	}
@@ -425,6 +477,8 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 	// Collect.
 	out.Faults = r.faults
 	out.EngineFP = k.Engine.Fingerprint()
+	out.SwapOuts = k.Metrics.Counter("swap.out")
+	out.SwapIns = k.Metrics.Counter("swap.in")
 	out.FramesInUse = k.Alloc.TotalInUse()
 	if k.Audit != nil {
 		out.Violations = int(k.Audit.Total())
@@ -582,13 +636,15 @@ func (r *runner) mappedPages(proc, region string) int {
 // ComparePolicies is the cross-policy differential comparator: every
 // non-skipped outcome of the same (scenario, topology, chaos) cell must
 // agree on the converged architectural state — region shapes, per-thread
-// fault counts, and live frame count. Racy scenarios are exempt (their
-// interleavings legitimately differ); their per-run safety checks already
-// ran. Returns human-readable mismatch reports.
+// fault counts, and live frame count. Racy and swap scenarios are exempt
+// (their interleavings and eviction schedules legitimately differ); their
+// per-run safety checks already ran. Returns human-readable mismatch
+// reports.
 func ComparePolicies(sc *Scenario, outs []Outcome) []string {
-	if sc.Racy || (len(outs) > 0 && outs[0].Chaos != "") {
-		// Racy interleavings and chaos schedules legitimately differ per
-		// policy; their per-run safety checks already ran.
+	if sc.Racy || sc.Swap || (len(outs) > 0 && outs[0].Chaos != "") {
+		// Racy interleavings, swap pressure, and chaos schedules
+		// legitimately differ per policy; their per-run safety checks
+		// already ran.
 		return nil
 	}
 	var ref *Outcome

@@ -358,6 +358,100 @@ expect mapped A 0
 expect faults 0
 `,
 
+	// -- Swap scenarios: remote paging under pressure (safety-only) --------
+	//
+	// The `swap` directive shrinks node memory to 1024 frames and installs
+	// the page swapper over the remote-memory backend (watermarks 300/500,
+	// 1 ms scans). A ~900-page populated working set on node 0 forces
+	// evictions; sleeps of several scan periods let the swapper strike;
+	// re-touches swap the pages back in over RDMA. Eviction timing is
+	// policy-dependent, so only safety properties are checked — plus the
+	// deterministic mapped-0 post-conditions after the final munmaps.
+
+	// The full cycle on one core: populate past the watermark, let the
+	// swapper evict, fault everything back in, tear down.
+	`litmus swap-evict-refault
+swap
+thread 1
+  mmap A 400 pop
+  write A 0 400
+  mmap H 500 pop
+  write H 0 500
+  sleep 8ms
+  read A 0 400
+  sleep 4ms
+  munmap A
+  munmap H
+expect mapped A 0
+expect mapped H 0
+`,
+
+	// A second thread keeps the mm hot on a remote core through the
+	// eviction window, so Linux's swap-out shootdowns have a real IPI
+	// target while LATR's stay lazy — the Infiniswap critical path inside
+	// the litmus engine.
+	`litmus swap-shootdown-busy
+swap
+thread 1
+  mmap A 400 pop
+  write A 0 400
+  mmap H 500 pop
+  write H 0 500
+  sleep 8ms
+  read A 0 400
+  sleep 4ms
+  munmap A
+  munmap H
+thread 9
+  wait H
+  read H 0 16
+  compute 12ms
+expect mapped A 0
+expect mapped H 0
+`,
+
+	// Two threads refault disjoint halves of the evicted region
+	// concurrently: their RDMA reads contend on the node's NIC FIFO and
+	// the remote service queue.
+	`litmus swap-concurrent-swapin
+swap
+thread 1
+  mmap A 400 pop
+  write A 0 400
+  mmap H 500 pop
+  write H 0 500
+  sleep 8ms
+  read A 0 200
+  sleep 4ms
+  munmap A
+  munmap H
+thread 2
+  wait A
+  sleep 8ms
+  read A 200 200
+  compute 2ms
+expect mapped A 0
+expect mapped H 0
+`,
+
+	// Unmapping a mostly-swapped-out region exercises Backend.Drop: the
+	// remote copies must be discarded without a read, and the remote frame
+	// pool must drain.
+	`litmus swap-drop-unmapped
+swap
+thread 1
+  mmap A 400 pop
+  write A 0 400
+  mmap H 500 pop
+  write H 0 500
+  sleep 8ms
+  munmap A
+  sleep 2ms
+  munmap H
+expect mapped A 0
+expect mapped H 0
+`,
+
 	// -- Racy scenarios: only safety properties are checked ----------------
 
 	`litmus racy-unmap-race

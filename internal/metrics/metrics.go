@@ -136,6 +136,7 @@ type Registry struct {
 	gauges   map[string]*int64
 	peaks    map[string]*int64
 	hists    map[string]*Histogram
+	percs    map[string]*PercentileHist
 }
 
 // NewRegistry returns an empty registry.
@@ -145,6 +146,7 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*int64{},
 		peaks:    map[string]*int64{},
 		hists:    map[string]*Histogram{},
+		percs:    map[string]*PercentileHist{},
 	}
 }
 
@@ -214,6 +216,26 @@ func (r *Registry) Hist(name string) *Histogram {
 	return &Histogram{}
 }
 
+// ObservePerc records a sample into the named percentile histogram (the
+// fixed-bucket, bounded-error variant the tail-latency experiments use).
+func (r *Registry) ObservePerc(name string, v sim.Time) {
+	h, ok := r.percs[name]
+	if !ok {
+		h = &PercentileHist{}
+		r.percs[name] = h
+	}
+	h.Observe(v)
+}
+
+// Perc returns the named percentile histogram (an empty one if never
+// written).
+func (r *Registry) Perc(name string) *PercentileHist {
+	if h, ok := r.percs[name]; ok {
+		return h
+	}
+	return &PercentileHist{}
+}
+
 // Names returns all metric names, sorted, for report rendering.
 func (r *Registry) Names() []string {
 	seen := map[string]bool{}
@@ -231,6 +253,9 @@ func (r *Registry) Names() []string {
 		add(n)
 	}
 	for n := range r.hists {
+		add(n)
+	}
+	for n := range r.percs {
 		add(n)
 	}
 	sort.Strings(names)
@@ -259,6 +284,9 @@ func (r *Registry) Dump() string {
 		}
 		if h, ok := r.hists[n]; ok {
 			fmt.Fprintf(&b, "%-40s %s\n", n, h)
+		}
+		if p, ok := r.percs[n]; ok {
+			fmt.Fprintf(&b, "%-40s %s digest=%016x\n", n, p, p.Digest())
 		}
 	}
 	return b.String()

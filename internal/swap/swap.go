@@ -6,20 +6,52 @@
 //
 // The swapper is a background kernel thread: when a NUMA node's free
 // memory drops below the low watermark, it scans for cold pages (accessed
-// bit clear since the previous scan — a one-hand clock), writes them to
-// the swap device, and frees their frames *through the coherence policy's
-// free path* — synchronously under Linux, via LATR states and lazy
-// reclamation under LATR. A later touch takes a major fault and swaps the
-// page back in. The kernel's shadow tracker checks the reuse invariant
-// across the whole cycle.
+// bit clear since the previous scan — a one-hand clock), unmaps them
+// *through the coherence policy's free path*, and writes them to the swap
+// device behind the pluggable Backend interface. The ordering is the heart
+// of the Infiniswap case study (§6.2): the device write is issued from the
+// policy's completion continuation, so under Linux the synchronous
+// shootdown (ACK spin included) sits on the swap-out critical path *before*
+// the write, while under LATR the write starts ~132 ns after the unmap and
+// overlaps lazy reclamation. A later touch takes a major fault and swaps
+// the page back in through Backend.Load. The kernel's shadow tracker checks
+// the reuse invariant across the whole cycle.
 package swap
 
 import (
+	"fmt"
+
 	"latr/internal/kernel"
+	"latr/internal/mem"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/topo"
 )
+
+// Backend abstracts the swap device. The built-in LocalBackend models an
+// NVMe-class SSD; internal/remote provides the Infiniswap-style RDMA
+// backend. Implementations are single-kernel: Attach binds the backend to
+// the kernel whose event loop will drive it, and all other methods run
+// inside that loop.
+type Backend interface {
+	// Name identifies the backend in metrics and tables.
+	Name() string
+	// Attach binds the backend to the kernel before the swapper starts.
+	Attach(k *kernel.Kernel)
+	// Store writes the page backing (mm, vpn) out; done fires when the
+	// device write completes. The swapper calls it with mm's write
+	// semaphore held, after the coherence policy finished its part of the
+	// eviction — which is exactly what puts the Linux shootdown, but not
+	// LATR's state save, in front of it.
+	Store(c *kernel.Core, mm *kernel.MM, vpn pt.VPN, done func())
+	// Load reads the page back on a major fault; done fires when the data
+	// is available. A Load racing an in-flight Store of the same page must
+	// complete after the write does.
+	Load(c *kernel.Core, mm *kernel.MM, vpn pt.VPN, done func())
+	// Drop discards the stored copy of (mm, vpn) without reading it — the
+	// VA range was unmapped (or the process exited) while swapped out.
+	Drop(mm *kernel.MM, vpn pt.VPN)
+}
 
 // Config tunes the swapper.
 type Config struct {
@@ -31,7 +63,8 @@ type Config struct {
 	ScanPeriod sim.Time
 	// BatchPages caps pages swapped per pass.
 	BatchPages int
-	// WritePerPage / ReadPerPage are device costs (NVMe-class defaults).
+	// WritePerPage / ReadPerPage are device costs (NVMe-class defaults),
+	// used by the default LocalBackend; custom backends model their own.
 	WritePerPage sim.Time
 	ReadPerPage  sim.Time
 	// Core hosts the swapper thread.
@@ -50,6 +83,55 @@ func DefaultConfig() Config {
 	}
 }
 
+// minScanPeriod is the clamp floor for ScanPeriod: scanning more often
+// than this would let the daemon monopolise its core, mirroring the
+// reclaim-period clamp in the LATR core config.
+const minScanPeriod = 100 * sim.Microsecond
+
+// allocRetryDelay and maxAllocRetries bound the direct-reclaim-style wait
+// a swap-in performs when every node is momentarily out of frames. Under
+// LATR this window is routine: evicted frames return to the pool only at
+// the next lazy sweep, so a fault storm right after eviction must wait a
+// sweep period rather than fail. 200 × 50 µs covers several sweep epochs.
+const (
+	allocRetryDelay = 50 * sim.Microsecond
+	maxAllocRetries = 200
+)
+
+// Validate rejects configurations that could never have been intended:
+// negative fields and inverted watermarks. Zero fields mean "use the
+// default" and are legal; too-small periods are clamped (see
+// withDefaults), not rejected, mirroring kernel.Config.
+func (c Config) Validate() error {
+	if c.LowWatermarkFrames < 0 {
+		return fmt.Errorf("swap: LowWatermarkFrames %d is negative", c.LowWatermarkFrames)
+	}
+	if c.HighWatermarkFrames < 0 {
+		return fmt.Errorf("swap: HighWatermarkFrames %d is negative", c.HighWatermarkFrames)
+	}
+	if c.LowWatermarkFrames > 0 && c.HighWatermarkFrames > 0 &&
+		c.LowWatermarkFrames > c.HighWatermarkFrames {
+		return fmt.Errorf("swap: watermarks inverted (low %d > high %d)",
+			c.LowWatermarkFrames, c.HighWatermarkFrames)
+	}
+	if c.ScanPeriod < 0 {
+		return fmt.Errorf("swap: ScanPeriod %v is negative", c.ScanPeriod)
+	}
+	if c.BatchPages < 0 {
+		return fmt.Errorf("swap: BatchPages %d is negative", c.BatchPages)
+	}
+	if c.WritePerPage < 0 {
+		return fmt.Errorf("swap: WritePerPage %v is negative", c.WritePerPage)
+	}
+	if c.ReadPerPage < 0 {
+		return fmt.Errorf("swap: ReadPerPage %v is negative", c.ReadPerPage)
+	}
+	if c.Core < 0 {
+		return fmt.Errorf("swap: Core %d is negative", c.Core)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.LowWatermarkFrames == 0 {
@@ -60,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScanPeriod == 0 {
 		c.ScanPeriod = d.ScanPeriod
+	}
+	if c.ScanPeriod < minScanPeriod {
+		c.ScanPeriod = minScanPeriod
 	}
 	if c.BatchPages == 0 {
 		c.BatchPages = d.BatchPages
@@ -73,10 +158,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// LocalBackend models the NVMe-class local swap device the pre-remote
+// experiments used: a fixed per-page write/read latency charged as busy
+// time on the initiating core, no queueing, no capacity limit.
+type LocalBackend struct {
+	write, read sim.Time
+}
+
+// NewLocalBackend builds the NVMe-class backend (zero costs take the
+// DefaultConfig device constants).
+func NewLocalBackend(write, read sim.Time) *LocalBackend {
+	d := DefaultConfig()
+	if write <= 0 {
+		write = d.WritePerPage
+	}
+	if read <= 0 {
+		read = d.ReadPerPage
+	}
+	return &LocalBackend{write: write, read: read}
+}
+
+// Name identifies the backend.
+func (b *LocalBackend) Name() string { return "nvme" }
+
+// Attach implements Backend (the local device needs no kernel state).
+func (b *LocalBackend) Attach(*kernel.Kernel) {}
+
+// Store charges the device write as busy time on the initiating core.
+func (b *LocalBackend) Store(c *kernel.Core, _ *kernel.MM, _ pt.VPN, done func()) {
+	c.Busy(b.write, false, done)
+}
+
+// Load charges the device read as busy time on the faulting core.
+func (b *LocalBackend) Load(c *kernel.Core, _ *kernel.MM, _ pt.VPN, done func()) {
+	c.Busy(b.read, false, done)
+}
+
+// Drop implements Backend (nothing to reclaim on the local device).
+func (b *LocalBackend) Drop(*kernel.MM, pt.VPN) {}
+
 // Swapper is the kswapd-style daemon plus the swap-in fault hook.
 type Swapper struct {
-	k   *kernel.Kernel
-	cfg Config
+	k       *kernel.Kernel
+	cfg     Config
+	backend Backend
 
 	procs []*kernel.Process
 	// swapped[mm][vpn] marks pages resident on the swap device.
@@ -84,18 +209,37 @@ type Swapper struct {
 	cursor  map[*kernel.MM]pt.VPN
 }
 
-// New builds a swapper (zero cfg fields take defaults).
+// New builds a swapper over the local NVMe-class backend (zero cfg fields
+// take defaults). It panics on a Validate error, like kernel.New.
 func New(cfg Config) *Swapper {
+	return NewWithBackend(cfg, nil)
+}
+
+// NewWithBackend builds a swapper over an explicit device backend (nil
+// falls back to the local NVMe model).
+func NewWithBackend(cfg Config, b Backend) *Swapper {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	if b == nil {
+		b = NewLocalBackend(cfg.WritePerPage, cfg.ReadPerPage)
+	}
 	return &Swapper{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
+		backend: b,
 		swapped: make(map[*kernel.MM]map[pt.VPN]bool),
 		cursor:  make(map[*kernel.MM]pt.VPN),
 	}
 }
 
+// Backend returns the device backend the swapper drives.
+func (s *Swapper) Backend() Backend { return s.backend }
+
 // Install starts the swapper thread and hooks swap-in into demand faults.
 func (s *Swapper) Install(k *kernel.Kernel) {
 	s.k = k
+	s.backend.Attach(k)
 	k.SetSwapHandler(s)
 	host := k.NewProcess()
 	sleep := true
@@ -194,10 +338,14 @@ func (s *Swapper) pass(c *kernel.Core, th *kernel.Thread, done func()) {
 		return
 	}
 
-	// Swap out each victim: write to the device, then free the frame via
-	// the policy's madvise-style path — under LATR the frame is reclaimed
-	// only after every TLB entry is swept, which is exactly §3's "swap
-	// lazily after the last core has invalidated".
+	// Swap out each victim: unmap, hand remote coherence to the policy,
+	// then write to the device from the policy's completion continuation.
+	// Under Linux that continuation fires only after every ACK arrived, so
+	// the shootdown serializes ahead of the device write; under LATR it
+	// fires after the ~132 ns state save and the write overlaps the lazy
+	// sweeps — §3's "swap lazily after the last core has invalidated". The
+	// write semaphore is held across the write, so faulting readers of the
+	// same address space observe the full critical path.
 	var next func(i int)
 	next = func(i int) {
 		if i >= len(victims) {
@@ -205,32 +353,35 @@ func (s *Swapper) pass(c *kernel.Core, th *kernel.Thread, done func()) {
 			return
 		}
 		v := victims[i]
-		c.Busy(s.cfg.WritePerPage, false, func() {
-			v.mm.Sem.AcquireWrite(c, th, func() {
-				e, ok := v.mm.PT.Get(v.vpn)
-				if !ok || e.NUMAHint {
-					v.mm.Sem.ReleaseWrite()
-					next(i + 1)
-					return
-				}
-				old, _ := v.mm.PT.Unmap(v.vpn)
-				c.TLB.Invalidate(c.PCIDOf(v.mm), v.vpn)
-				perMM := s.swapped[v.mm]
-				if perMM == nil {
-					perMM = make(map[pt.VPN]bool)
-					s.swapped[v.mm] = perMM
-				}
-				perMM[v.vpn] = true
-				u := kernel.Unmap{
-					MM:      v.mm,
-					Start:   v.vpn,
-					Pages:   1,
-					Frames:  []kernel.FrameRef{{VPN: v.vpn, PFN: old.PFN}},
-					KeepVMA: true,
-				}
-				s.k.Policy().Munmap(c, u, func() {
+		v.mm.Sem.AcquireWrite(c, th, func() {
+			e, ok := v.mm.PT.Get(v.vpn)
+			if !ok || e.NUMAHint {
+				v.mm.Sem.ReleaseWrite()
+				next(i + 1)
+				return
+			}
+			old, _ := v.mm.PT.Unmap(v.vpn)
+			c.TLB.Invalidate(c.PCIDOf(v.mm), v.vpn)
+			perMM := s.swapped[v.mm]
+			if perMM == nil {
+				perMM = make(map[pt.VPN]bool)
+				s.swapped[v.mm] = perMM
+			}
+			perMM[v.vpn] = true
+			t0 := s.k.Now()
+			u := kernel.Unmap{
+				MM:      v.mm,
+				Start:   v.vpn,
+				Pages:   1,
+				Frames:  []kernel.FrameRef{{VPN: v.vpn, PFN: old.PFN}},
+				KeepVMA: true,
+			}
+			s.k.Policy().Munmap(c, u, func() {
+				s.k.Metrics.Observe("swap.unmap_wait", s.k.Now()-t0)
+				s.backend.Store(c, v.mm, v.vpn, func() {
 					v.mm.Sem.ReleaseWrite()
 					s.k.Metrics.Inc("swap.out", 1)
+					s.k.Metrics.ObservePerc("swap.evict_hold", s.k.Now()-t0)
 					next(i + 1)
 				})
 			})
@@ -250,39 +401,90 @@ func (s *Swapper) OnSwapFault(c *kernel.Core, th *kernel.Thread, vpn pt.VPN, con
 	delete(perMM, vpn)
 	k := s.k
 	k.Metrics.Inc("swap.in", 1)
-	c.Busy(s.cfg.ReadPerPage, false, func() {
-		mm.Sem.AcquireRead(c, th, func() {
-			if _, ok := mm.PT.Get(vpn); ok {
-				mm.Sem.ReleaseRead()
-				cont()
-				return
-			}
-			vma, ok := mm.Space.Find(vpn)
-			if !ok {
-				th.LastFault++
-				mm.Sem.ReleaseRead()
-				cont()
-				return
-			}
-			pfn, err := k.AllocFrame(k.Spec.NodeOf(c.ID))
-			if err != nil {
-				th.LastErr = err
-				th.LastFault++
-				mm.Sem.ReleaseRead()
-				cont()
-				return
-			}
-			if err := mm.PT.Map(vpn, pfn, vma.Writable); err != nil {
-				panic(err)
-			}
-			c.TLB.Insert(c.PCIDOf(mm), vpn, pfn, vma.Writable)
-			c.Busy(k.Cost.MmapSetupPerPage, false, func() {
-				mm.Sem.ReleaseRead()
-				cont()
+	s.backend.Load(c, mm, vpn, func() {
+		var attempt func(tries int)
+		attempt = func(tries int) {
+			mm.Sem.AcquireRead(c, th, func() {
+				if _, ok := mm.PT.Get(vpn); ok {
+					mm.Sem.ReleaseRead()
+					cont()
+					return
+				}
+				vma, ok := mm.Space.Find(vpn)
+				if !ok {
+					th.LastFault++
+					mm.Sem.ReleaseRead()
+					cont()
+					return
+				}
+				pfn, err := s.allocAnyNode(k.Spec.NodeOf(c.ID))
+				if err != nil {
+					// Out of frames everywhere — wait for reclamation to
+					// return some (under LATR that happens at the next lazy
+					// sweep, not at eviction time) and retry, like direct
+					// reclaim. Only a persistent drought is a real fault.
+					mm.Sem.ReleaseRead()
+					if tries < maxAllocRetries {
+						k.Metrics.Inc("swap.alloc_retries", 1)
+						c.Busy(allocRetryDelay, false, func() { attempt(tries + 1) })
+						return
+					}
+					th.LastErr = err
+					th.LastFault++
+					cont()
+					return
+				}
+				if err := mm.PT.Map(vpn, pfn, vma.Writable); err != nil {
+					panic(err)
+				}
+				c.TLB.Insert(c.PCIDOf(mm), vpn, pfn, vma.Writable)
+				c.Busy(k.Cost.MmapSetupPerPage, false, func() {
+					mm.Sem.ReleaseRead()
+					cont()
+				})
 			})
-		})
+		}
+		attempt(0)
 	})
 	return true
+}
+
+// allocAnyNode tries the faulting core's node first, then the others in ID
+// order — the zone-fallback analogue: a swap-in should not fail while any
+// node still has free frames.
+func (s *Swapper) allocAnyNode(local topo.NodeID) (mem.PFN, error) {
+	pfn, err := s.k.AllocFrame(local)
+	if err == nil {
+		return pfn, nil
+	}
+	for n := 0; n < s.k.Spec.NumNodes(); n++ {
+		if topo.NodeID(n) == local {
+			continue
+		}
+		if pfn, err2 := s.k.AllocFrame(topo.NodeID(n)); err2 == nil {
+			return pfn, nil
+		}
+	}
+	return 0, err
+}
+
+// OnUnmap implements kernel.SwapUnmapper: when a VA range leaves the
+// address space (munmap, mremap source, exit teardown) while some of its
+// pages are swapped out, the device copies are discarded so a later mmap
+// reusing the VA cannot resurrect stale contents.
+func (s *Swapper) OnUnmap(mm *kernel.MM, start pt.VPN, pages int) {
+	perMM := s.swapped[mm]
+	if len(perMM) == 0 {
+		return
+	}
+	for i := 0; i < pages; i++ {
+		vpn := start + pt.VPN(i)
+		if perMM[vpn] {
+			delete(perMM, vpn)
+			s.backend.Drop(mm, vpn)
+			s.k.Metrics.Inc("swap.dropped", 1)
+		}
+	}
 }
 
 // SwappedPages reports pages currently on the device (for tests).

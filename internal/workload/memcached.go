@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"latr/internal/kernel"
+	"latr/internal/metrics"
+	"latr/internal/pt"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// MemcachedConfig models the §6.2 Infiniswap case study's client: a
+// memcached-style KV server whose slab arena is larger than local memory,
+// so cold GETs major-fault and swap in from the remote-memory backend
+// while the swapper concurrently evicts cold slabs. The paper's headline
+// number — LATR cuts memcached's p99 by ~70% under Infiniswap — comes from
+// exactly this mix: most requests hit the resident hot set, and the tail
+// is set by fault-path requests serialized behind evictions holding the mm
+// write semaphore (shootdown + RDMA write under Linux, write only under
+// LATR).
+type MemcachedConfig struct {
+	// Cores run one server worker thread each; all workers share one
+	// process (one mm), as memcached's pthread workers do.
+	Cores []topo.CoreID
+	// Keys is the keyspace size; each value occupies ValuePages pages of
+	// the slab arena.
+	Keys       int
+	ValuePages int
+	// HotKeys is the size of the popular prefix of the keyspace;
+	// HotTrafficPct percent of requests go there. The hot set must fit in
+	// local memory or nothing is "memcached-like" about the run.
+	HotKeys       int
+	HotTrafficPct int
+	// SetPct percent of requests are SETs (write touches); the rest GETs.
+	SetPct int
+	// Think is the per-request CPU cost (parse, hash, respond).
+	Think sim.Time
+	// Seed drives the per-worker key-choice streams.
+	Seed uint64
+}
+
+// DefaultMemcachedConfig returns the case-study shape for the given
+// worker cores: a 4K-key arena at one page per value, a 20% hot set taking
+// 90% of traffic, 10% SETs.
+func DefaultMemcachedConfig(cores []topo.CoreID) MemcachedConfig {
+	return MemcachedConfig{
+		Cores:         cores,
+		Keys:          4096,
+		ValuePages:    1,
+		HotKeys:       800,
+		HotTrafficPct: 90,
+		SetPct:        10,
+		Think:         10 * sim.Microsecond,
+		Seed:          1,
+	}
+}
+
+// Memcached is the workload instance.
+type Memcached struct {
+	cfg      MemcachedConfig
+	k        *kernel.Kernel
+	proc     *kernel.Process
+	gate     *Gate
+	arena    pt.VPN
+	loaded   bool
+	requests uint64
+}
+
+// NewMemcached returns a memcached workload.
+func NewMemcached(cfg MemcachedConfig) *Memcached {
+	if len(cfg.Cores) == 0 || cfg.Keys < 1 || cfg.ValuePages < 1 ||
+		cfg.HotKeys < 1 || cfg.HotKeys > cfg.Keys ||
+		cfg.HotTrafficPct < 0 || cfg.HotTrafficPct > 100 ||
+		cfg.SetPct < 0 || cfg.SetPct > 100 {
+		panic("workload: invalid memcached config")
+	}
+	return &Memcached{cfg: cfg}
+}
+
+// Setup creates the server process: a loader thread that maps the slab
+// arena and warms it end to end (filling memory past the watermark, like
+// a memcached instance reaching its configured cache size), then opens
+// the gate for the worker threads.
+func (m *Memcached) Setup(k *kernel.Kernel) {
+	m.k = k
+	m.gate = NewGate(k)
+	m.proc = k.NewProcess()
+	cfg := m.cfg
+
+	total := cfg.Keys * cfg.ValuePages
+	warmed := 0
+	const warmChunk = 128
+	step := 0
+	m.proc.Spawn(cfg.Cores[0], kernel.Loop(func(th *kernel.Thread) kernel.Op {
+		switch step {
+		case 0:
+			step = 1
+			return kernel.OpMmap{Pages: total, Writable: true, Populate: false, Node: -1}
+		case 1:
+			m.arena = th.LastAddr
+			step = 2
+			fallthrough
+		case 2:
+			if warmed < total {
+				n := total - warmed
+				if n > warmChunk {
+					n = warmChunk
+				}
+				op := kernel.OpTouchRange{Start: m.arena + pt.VPN(warmed), Pages: n, Write: true}
+				warmed += n
+				return op
+			}
+			m.loaded = true
+			m.gate.Open()
+			step = 3
+			fallthrough
+		default:
+			// The loader core becomes a regular worker after the load phase.
+			return nil
+		}
+	}))
+
+	for i, core := range cfg.Cores {
+		m.spawnWorker(core, uint64(i))
+	}
+}
+
+func (m *Memcached) spawnWorker(core topo.CoreID, id uint64) {
+	cfg := m.cfg
+	rng := sim.NewRand(cfg.Seed<<8 ^ id ^ 0x9e3779b9)
+	var t0 sim.Time
+	started := false
+	step := 0
+	var vpn pt.VPN
+	write := false
+	m.proc.Spawn(core, kernel.Loop(func(th *kernel.Thread) kernel.Op {
+		switch step {
+		case 0:
+			step = 1
+			return m.gate.Wait()
+		case 1:
+			now := m.k.Now()
+			if started {
+				m.requests++
+				m.k.Metrics.Inc("app.requests", 1)
+				m.k.Metrics.ObservePerc("app.req_latency", now-t0)
+			}
+			started = true
+			t0 = now
+			var key int
+			if rng.Intn(100) < cfg.HotTrafficPct {
+				key = rng.Intn(cfg.HotKeys)
+			} else {
+				key = cfg.HotKeys + rng.Intn(cfg.Keys-cfg.HotKeys)
+			}
+			vpn = m.arena + pt.VPN(key*cfg.ValuePages)
+			write = rng.Intn(100) < cfg.SetPct
+			step = 2
+			return kernel.OpCompute{D: cfg.Think / 2}
+		case 2: // the value access: hot keys TLB-hit, cold keys major-fault
+			step = 3
+			return kernel.OpTouchRange{Start: vpn, Pages: cfg.ValuePages, Write: write}
+		case 3:
+			step = 1
+			return kernel.OpCompute{D: cfg.Think - cfg.Think/2}
+		default:
+			panic("unreachable")
+		}
+	}))
+}
+
+// Proc returns the server process (the swapper must Register it).
+func (m *Memcached) Proc() *kernel.Process { return m.proc }
+
+// Requests reports completed requests.
+func (m *Memcached) Requests() uint64 { return m.requests }
+
+// Loaded reports whether the warm-up phase finished (for tests).
+func (m *Memcached) Loaded() bool { return m.loaded }
+
+// Done always reports false: the server runs until the experiment
+// deadline.
+func (m *Memcached) Done() bool { return false }
+
+// Latency returns the request-latency percentile histogram.
+func (m *Memcached) Latency() *metrics.PercentileHist { return m.k.Metrics.Perc("app.req_latency") }
+
+// ArenaPages reports the slab arena size in pages.
+func (m *Memcached) ArenaPages() int { return m.cfg.Keys * m.cfg.ValuePages }

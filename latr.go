@@ -43,6 +43,7 @@ import (
 	"latr/internal/metrics"
 	"latr/internal/numa"
 	"latr/internal/pt"
+	"latr/internal/remote"
 	"latr/internal/shootdown"
 	"latr/internal/sim"
 	"latr/internal/swap"
@@ -234,6 +235,26 @@ type AutoNUMAConfig = numa.Config
 // lazy-swap sketch).
 type SwapConfig = swap.Config
 
+// SwapBackend abstracts the swap device; implement it to model a custom
+// device, or use NewRemoteBackend for the Infiniswap-style RDMA backend.
+type SwapBackend = swap.Backend
+
+// RemoteBackendConfig tunes the remote-memory paging backend (§6.2;
+// DESIGN.md §10). Latency constants come from the machine's cost model;
+// the config covers the remote node's capacity.
+type RemoteBackendConfig = remote.Config
+
+// RemoteBackend is the Infiniswap-style RDMA swap backend.
+type RemoteBackend = remote.Backend
+
+// NewRemoteBackend builds a remote-memory swap backend; pass it in
+// Config.SwapBackend together with Config.Swap.
+var NewRemoteBackend = remote.New
+
+// PercentileHist is a fixed-bucket latency histogram with deterministic
+// quantiles (p50/p90/p99/p99.9) and a byte-stable digest.
+type PercentileHist = metrics.PercentileHist
+
 // Config assembles a simulated system.
 type Config struct {
 	// Machine selects the topology (default TwoSocket16).
@@ -248,6 +269,9 @@ type Config struct {
 	AutoNUMA *AutoNUMAConfig
 	// Swap, when non-nil, installs the LRU page swapper with this config.
 	Swap *SwapConfig
+	// SwapBackend overrides the swapper's device model (default: local
+	// NVMe-class). Ignored unless Swap is set.
+	SwapBackend SwapBackend
 	// UsePCID enables PCID-tagged TLBs (§4.5).
 	UsePCID bool
 	// Tickless disables scheduler ticks on idle cores (§7).
@@ -318,7 +342,14 @@ func NewSystem(cfg Config) *System {
 		s.autonuma.Install(k)
 	}
 	if cfg.Swap != nil {
-		s.swapper = swap.New(*cfg.Swap)
+		if err := cfg.Swap.Validate(); err != nil {
+			panic("latr: invalid Config.Swap: " + err.Error())
+		}
+		if cfg.SwapBackend != nil {
+			s.swapper = swap.NewWithBackend(*cfg.Swap, cfg.SwapBackend)
+		} else {
+			s.swapper = swap.New(*cfg.Swap)
+		}
 		s.swapper.Install(k)
 	}
 	return s
@@ -381,6 +412,10 @@ type ExperimentOptions = experiments.Options
 
 // Experiments lists every reproducible table/figure identifier.
 func Experiments() []string { return experiments.IDs() }
+
+// PaperExperiments lists the identifiers of the paper's own tables,
+// figures and case studies, without the ablations.
+func PaperExperiments() []string { return experiments.PaperIDs() }
 
 // RunExperiment regenerates one table or figure by id (e.g. "fig6",
 // "table5", "abl-transport").

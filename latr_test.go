@@ -1,6 +1,7 @@
 package latr_test
 
 import (
+	"strings"
 	"testing"
 
 	"latr"
@@ -88,10 +89,67 @@ func TestAutoNUMAViaConfig(t *testing.T) {
 	}
 }
 
+func TestInvalidSwapConfigPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for inverted watermarks")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "watermarks inverted") {
+			t.Fatalf("panic = %v, want the Validate error", r)
+		}
+	}()
+	latr.NewSystem(latr.Config{
+		Policy: latr.PolicyLATR,
+		Swap:   &latr.SwapConfig{LowWatermarkFrames: 500, HighWatermarkFrames: 100},
+	})
+}
+
+func TestRemotePagingThroughPublicAPI(t *testing.T) {
+	machine := latr.CustomMachine(2, 2)
+	machine.MemPerNodeBytes = 1500 * 4096
+	sys := latr.NewSystem(latr.Config{
+		Machine:     machine,
+		Policy:      latr.PolicyLATR,
+		Swap:        &latr.SwapConfig{LowWatermarkFrames: 300, HighWatermarkFrames: 500, ScanPeriod: latr.Millisecond, BatchPages: 512},
+		SwapBackend: latr.NewRemoteBackend(latr.RemoteBackendConfig{}),
+	})
+	w := latr.NewMemcached(latr.DefaultMemcachedConfig([]latr.CoreID{1, 2, 3}))
+	w.Setup(sys.Kernel())
+	sys.RegisterAllForNUMA()
+	sys.Run(80 * latr.Millisecond)
+	if !w.Loaded() {
+		t.Fatal("KV warm-up never finished")
+	}
+	if sys.Metrics().Counter("swap.out") == 0 || sys.Metrics().Counter("swap.in") == 0 {
+		t.Fatalf("no remote paging traffic (out %d, in %d)",
+			sys.Metrics().Counter("swap.out"), sys.Metrics().Counter("swap.in"))
+	}
+	var h *latr.PercentileHist = w.Latency()
+	if h.Count() == 0 || h.P99() < h.P50() {
+		t.Fatalf("latency histogram broken: count %d, p50 %v, p99 %v", h.Count(), h.P50(), h.P99())
+	}
+	var _ latr.Workload = w
+	var _ latr.SwapBackend = latr.NewRemoteBackend(latr.RemoteBackendConfig{})
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	ids := latr.Experiments()
 	if len(ids) < 14 {
 		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	paper := latr.PaperExperiments()
+	if len(paper) >= len(ids) {
+		t.Fatalf("PaperExperiments (%d) should be a strict subset of Experiments (%d)", len(paper), len(ids))
+	}
+	found := false
+	for _, id := range paper {
+		if id == "remote" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PaperExperiments missing the remote case study")
 	}
 	tbl, err := latr.RunExperiment("table3", latr.ExperimentOptions{Quick: true})
 	if err != nil {

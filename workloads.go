@@ -45,6 +45,12 @@ type (
 	MetisConfig = workload.MetisConfig
 	// Metis is the single-machine MapReduce workload (Fig 11).
 	Metis = workload.Metis
+	// MemcachedConfig parameterises the KV server of the Infiniswap case
+	// study (§6.2).
+	MemcachedConfig = workload.MemcachedConfig
+	// Memcached is the memcached-like KV server whose per-request
+	// latencies feed the remote-memory tail-latency experiment.
+	Memcached = workload.Memcached
 	// GridConfig parameterises the stencil workloads.
 	GridConfig = workload.GridConfig
 	// Grid is the iterative stencil workload (ocean_cp/fluidanimate, Fig 11).
@@ -85,6 +91,10 @@ var (
 	NewMetis = workload.NewMetis
 	// DefaultMetisConfig is the Fig 11 configuration.
 	DefaultMetisConfig = workload.DefaultMetisConfig
+	// NewMemcached builds the KV server workload.
+	NewMemcached = workload.NewMemcached
+	// DefaultMemcachedConfig is the §6.2 case-study configuration.
+	DefaultMemcachedConfig = workload.DefaultMemcachedConfig
 	// NewGrid builds a stencil workload.
 	NewGrid = workload.NewGrid
 	// OceanConfig is the ocean_cp stencil configuration.
