@@ -10,68 +10,141 @@
 //	latr-bench -ablations           # run the ablation studies
 //	latr-bench -parallel 8          # fan each experiment's runs across 8 workers
 //	latr-bench -exp remote -json    # also write BENCH_remote.json
+//
+// Regression gate: -compare re-runs each committed baseline's experiment
+// with the baseline's recorded options and fails when any result cell
+// drifts out of tolerance. The simulator is deterministic, so identical
+// code reproduces every baseline exactly; drift means the model changed.
+//
+//	latr-bench -compare baselines/              # all BENCH_*.json in the dir
+//	latr-bench -compare BENCH_table5.json       # one baseline
+//	latr-bench -compare baselines/ -tolerance 0.02
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"latr"
 )
 
-// jsonTable is the machine-readable form of one experiment, written to
-// BENCH_<id>.json under -json so CI can archive result baselines.
-type jsonTable struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Quick   bool       `json:"quick"`
-	Seed    uint64     `json:"seed"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-	WallSec float64    `json:"wall_sec"`
-}
-
 func writeJSON(tbl *latr.ExperimentTable, o latr.ExperimentOptions, wall float64) error {
-	data, err := json.MarshalIndent(jsonTable{
-		ID:      tbl.ID,
-		Title:   tbl.Title,
-		Quick:   o.Quick,
-		Seed:    o.Seed,
-		Columns: tbl.Columns,
-		Rows:    tbl.Rows,
-		Notes:   tbl.Notes,
-		WallSec: wall,
-	}, "", "  ")
+	data, err := latr.BenchJSONFromTable(tbl, o, wall).Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile("BENCH_"+tbl.ID+".json", append(data, '\n'), 0o644)
+	return os.WriteFile("BENCH_"+tbl.ID+".json", data, 0o644)
 }
 
-func main() {
+// baselineFiles expands a -compare argument into baseline paths: a
+// directory means every BENCH_*.json inside it, sorted for deterministic
+// order; anything else is taken as one baseline file.
+func baselineFiles(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	files, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("latr-bench: no BENCH_*.json baselines in %s", path)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// runCompare executes the regression gate for every baseline and reports
+// per-experiment PASS/FAIL. Any diff or error makes the exit code 1.
+func runCompare(stdout, stderr io.Writer, path string, tol latr.BenchTolerance, workers int) int {
+	files, err := baselineFiles(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	failed := 0
+	for _, f := range files {
+		base, err := latr.LoadBenchJSON(f)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			failed++
+			continue
+		}
+		// Re-run with the exact options the baseline recorded, so the
+		// deterministic engine is expected to reproduce it cell for cell.
+		o := latr.ExperimentOptions{Quick: base.Quick, Seed: base.Seed, Workers: workers}
+		start := time.Now()
+		tbl, err := latr.RunExperiment(base.ID, o)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			failed++
+			continue
+		}
+		cur := latr.BenchJSONFromTable(tbl, o, time.Since(start).Seconds())
+		diffs, err := latr.CompareBench(base, cur, tol)
+		switch {
+		case err != nil:
+			fmt.Fprintf(stdout, "FAIL %-8s %s: %v\n", base.ID, filepath.Base(f), err)
+			failed++
+		case len(diffs) > 0:
+			fmt.Fprintf(stdout, "FAIL %-8s %s: %d cell(s) out of tolerance\n", base.ID, filepath.Base(f), len(diffs))
+			for _, d := range diffs {
+				fmt.Fprintf(stdout, "     %s\n", d)
+			}
+			failed++
+		default:
+			fmt.Fprintf(stdout, "ok   %-8s %s (%.1fs)\n", base.ID, filepath.Base(f), cur.WallSec)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "latr-bench: %d of %d baseline(s) failed the regression gate\n", failed, len(files))
+		return 1
+	}
+	fmt.Fprintf(stdout, "latr-bench: %d baseline(s) reproduced within tolerance\n", len(files))
+	return 0
+}
+
+// run is the testable body of the command.
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("latr-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		exp       = flag.String("exp", "", "comma-separated experiment ids (default: all figures+tables)")
-		quick     = flag.Bool("quick", false, "smaller runs (same shapes, less precision)")
-		ablations = flag.Bool("ablations", false, "also run the ablation studies")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		check     = flag.Bool("check", false, "enable the TLB reuse-invariant checker (slower)")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker pool size for each experiment's independent runs (1 = sequential)")
-		emitJSON  = flag.Bool("json", false, "also write BENCH_<id>.json for each experiment run")
+		list      = fs.Bool("list", false, "list experiment ids and exit")
+		exp       = fs.String("exp", "", "comma-separated experiment ids (default: all figures+tables)")
+		quick     = fs.Bool("quick", false, "smaller runs (same shapes, less precision)")
+		ablations = fs.Bool("ablations", false, "also run the ablation studies")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		check     = fs.Bool("check", false, "enable the TLB reuse-invariant checker (slower)")
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "worker pool size for each experiment's independent runs (1 = sequential)")
+		emitJSON  = fs.Bool("json", false, "also write BENCH_<id>.json for each experiment run")
+		compare   = fs.String("compare", "", "regression gate: re-run the experiments recorded in this baseline file (or every BENCH_*.json in this directory) and fail on drift")
+		tolRel    = fs.Float64("tolerance", 0, "compare: relative tolerance for scalar cells (0 = default 0.10)")
+		tolPct    = fs.Float64("tolerance-pct", 0, "compare: absolute percentage-point tolerance for % cells (0 = default 5.0)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range latr.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
+	}
+
+	if *compare != "" {
+		return runCompare(stdout, stderr, *compare, latr.BenchTolerance{Rel: *tolRel, Pct: *tolPct}, *parallel)
 	}
 
 	o := latr.ExperimentOptions{Quick: *quick, Seed: *seed, CheckInvariants: *check, Workers: *parallel}
@@ -90,17 +163,22 @@ func main() {
 		start := time.Now()
 		tbl, err := latr.RunExperiment(id, o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		wall := time.Since(start).Seconds()
-		fmt.Println(tbl)
-		fmt.Printf("(wall time %.1fs)\n\n", wall)
+		fmt.Fprintln(stdout, tbl)
+		fmt.Fprintf(stdout, "(wall time %.1fs)\n\n", wall)
 		if *emitJSON {
 			if err := writeJSON(tbl, o, wall); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
 }

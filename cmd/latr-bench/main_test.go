@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestList prints the experiment ids and exits 0.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, id := range []string{"fig6", "table5", "remote"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %q:\n%s", id, out.String())
+		}
+	}
+}
+
+// TestRunExperimentJSON runs one static experiment and archives it.
+func TestRunExperimentJSON(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-quick", "-exp", "table1", "-json"}); code != 0 {
+		t.Fatalf("-exp table1 exited %d: %s", code, errb.String())
+	}
+	if _, err := os.Stat("BENCH_table1.json"); err != nil {
+		t.Fatalf("-json did not write the baseline: %v", err)
+	}
+}
+
+// TestRunUnknownExperiment exits non-zero with a diagnostic.
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-exp", "nonesuch"}); code == 0 {
+		t.Fatal("unknown experiment id exited 0")
+	}
+	if !strings.Contains(errb.String(), "nonesuch") {
+		t.Errorf("diagnostic does not name the id: %s", errb.String())
+	}
+}
+
+// repoBaselines locates the committed baselines directory relative to this
+// package.
+func repoBaselines(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "baselines"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("committed baselines missing: %v", err)
+	}
+	return dir
+}
+
+// TestCompareCommittedBaselinesPass is the positive regression-gate check:
+// the deterministic engine must reproduce every committed baseline.
+func TestCompareCommittedBaselinesPass(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"-compare", repoBaselines(t), "-parallel", "1"})
+	if code != 0 {
+		t.Fatalf("committed baselines failed the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "reproduced within tolerance") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+}
+
+// TestCompareSlowedBaselineFails is the negative check: a synthetically
+// slowed baseline (testdata/slowed inflates the Linux shootdown cell by
+// ~37%) must trip the gate with a non-zero exit.
+func TestCompareSlowedBaselineFails(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{"-compare", filepath.Join("testdata", "slowed"), "-parallel", "1"})
+	if code == 0 {
+		t.Fatalf("slowed baseline passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "out of tolerance") {
+		t.Errorf("failure output does not report the drifted cell:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1210.0ns") {
+		t.Errorf("failure output does not show the baseline cell:\n%s", out.String())
+	}
+}
+
+// TestCompareSlowedBaselineWithinLooseTolerance: the same slowed baseline
+// passes when the tolerance is explicitly widened past the drift.
+func TestCompareSlowedBaselineWithinLooseTolerance(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(&out, &errb, []string{
+		"-compare", filepath.Join("testdata", "slowed"), "-tolerance", "0.5", "-parallel", "1"})
+	if code != 0 {
+		t.Fatalf("slowed baseline failed despite 50%% tolerance (exit %d):\n%s%s",
+			code, out.String(), errb.String())
+	}
+}
+
+// TestCompareMissingPath exits non-zero.
+func TestCompareMissingPath(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-compare", filepath.Join("testdata", "nonesuch")}); code == 0 {
+		t.Fatal("missing baseline path exited 0")
+	}
+}

@@ -7,6 +7,7 @@
 //	latr-sim -policy latr -workload apache -cores 12 -duration 500ms
 //	latr-sim -policy linux -workload micro -cores 16 -pages 8
 //	latr-sim -machine 8x15 -policy latr -workload micro -cores 120
+//	latr-sim -policy latr -workload micro -trace-out run.json   # Perfetto spans
 //
 // Matrix mode fans a (policy × workload × seed × machine) sweep across a
 // worker pool, each run fully isolated, results in deterministic order:
@@ -74,6 +75,7 @@ func main() {
 		check     = flag.Bool("check", false, "enable the TLB reuse-invariant checker")
 		dump      = flag.Bool("dump", true, "dump all metrics at the end")
 		audit     = flag.Bool("audit", false, "enable the coherence auditor (structured violations instead of panics)")
+		traceOut  = flag.String("trace-out", "", "write the run's coherence spans as Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 		chaosProf = flag.String("chaos-profile", "", "inject faults from this chaos profile (implies -audit); one of: "+strings.Join(latr.ChaosProfiles(), ", "))
 		chaosSeed = flag.Uint64("chaos-seed", 0, "seed for the chaos fault schedule (default: -seed)")
 
@@ -161,6 +163,9 @@ func main() {
 		CheckInvariants: *check,
 		Audit:           *audit || *chaosProf != "",
 	}
+	if *traceOut != "" {
+		cfg.SpanLimit = 1 << 20
+	}
 	if *numaOn {
 		cfg.AutoNUMA = &latr.AutoNUMAConfig{}
 	}
@@ -237,6 +242,23 @@ func main() {
 
 	fmt.Printf("machine=%s policy=%s workload=%s simulated=%v\n",
 		spec.Name, *policy, *wl, sys.Now())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sys.WritePerfetto(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %d spans to %s\n", len(sys.Spans().Retained()), *traceOut)
+	}
 	if *dump {
 		fmt.Print(sys.Metrics().Dump())
 	}

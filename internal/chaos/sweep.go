@@ -87,6 +87,15 @@ type Result struct {
 	TraceDigest uint64
 	MetricsFP   uint64
 	EngineFP    uint64
+
+	// Span-lifecycle accounting from the observability layer. A clean run
+	// drains completely: every opened span closes exactly once, so
+	// SpansOpen and SpanDoubleClose are zero and Opened == Closed.
+	SpansOpen       int
+	SpansOpened     uint64
+	SpansClosed     uint64
+	SpanDoubleClose uint64
+	SpanIncomplete  uint64
 }
 
 // String summarises the run for logs.
@@ -147,6 +156,12 @@ func Run(cfg RunConfig) Result {
 		TraceDigest:  k.Tracer.Digest(),
 		MetricsFP:    k.Metrics.Fingerprint(),
 		EngineFP:     k.Engine.Fingerprint(),
+
+		SpansOpen:       k.Spans.OpenSpans(),
+		SpansOpened:     k.Metrics.Counter("span.opened"),
+		SpansClosed:     k.Metrics.Counter("span.closed"),
+		SpanDoubleClose: k.Metrics.Counter("span.double_close"),
+		SpanIncomplete:  k.Metrics.Counter("span.incomplete"),
 	}
 }
 
@@ -224,7 +239,7 @@ func spawnChurn(k *kernel.Kernel, p *kernel.Process, pool *regionPool, id topo.C
 			// AutoNUMA way (deferred PTE clear, every core sweeps).
 			r := pool.held[rng.Intn(len(pool.held))]
 			return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
-				k.Policy().NUMAUnmap(c, mm, r.base, 1, done)
+				k.NUMAUnmap(c, mm, r.base, 1, done)
 			}}
 		case rng.Intn(3) > 0:
 			// Touch a region any core mapped, or occasionally a recently

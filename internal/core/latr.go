@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/tlb"
@@ -116,6 +117,10 @@ type State struct {
 	waiters []func()
 
 	recordedAt sim.Time
+	// span is the lifecycle span of the operation that recorded this state;
+	// it holds one retained reference until the state quiesces (or chaos
+	// abandons it). Nil for states recorded by span-less direct calls.
+	span *obs.Span
 	// gen distinguishes successive occupants of a recycled slot, so a
 	// gate-timeout armed against one occupant never fires against the next.
 	gen uint64
@@ -247,6 +252,7 @@ func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 			k.Metrics.Inc("shootdown.initiated", 1)
 			k.SendShootdownIPIs(c, u.MM, u.Start, u.Pages, targets, func() {
 				freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+				u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), freeCost)
 				c.Busy(freeCost, false, func() {
 					k.ReleaseFrames(u.Frames)
 					if !u.KeepVMA {
@@ -262,7 +268,17 @@ func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 		k.Metrics.Inc("shootdown.initiated", 1)
 	}
 
-	c.Busy(k.Cost.LATRStateSave+sim.Time(u.Pages)*k.Cost.LATRLazyPerPage, false, func() {
+	// The span outlives the syscall: one reference for the state's quiesce
+	// (all mask bits swept) and one for the lazy reclaim of its memory.
+	u.Span.SetTargets(mask)
+	if st != nil {
+		st.span = u.Span
+		u.Span.Retain()
+	}
+	u.Span.Retain()
+	tS := k.Now()
+	saveCost := k.Cost.LATRStateSave + sim.Time(u.Pages)*k.Cost.LATRLazyPerPage
+	c.Busy(saveCost, false, func() {
 		k.Metrics.Observe("latr.state_save", k.Cost.LATRStateSave)
 		// Lazy reclamation (§4.2): VA and frames leave circulation but are
 		// not freed yet.
@@ -277,7 +293,11 @@ func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 			deadline:  k.Now() + p.cfg.ReclaimDelay,
 			initiator: c,
 		})
-		k.Trace(c.ID, "latr", "state saved [%#x,+%d) mask=%v", uint64(u.Start.Addr()), u.Pages, mask)
+		if u.Span != nil {
+			u.Span.MarkLazy(obs.PhaseSend, c.ID, tS, k.Now()-tS)
+		} else {
+			k.Trace(c.ID, "latr", "state saved [%#x,+%d) mask=%v", uint64(u.Start.Addr()), u.Pages, mask)
+		}
 		done()
 	})
 }
@@ -303,7 +323,8 @@ func (p *Policy) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages in
 	mask := p.targetsMask(c, mm)
 	mask.Set(c.ID) // the initiator also sweeps (Fig 3b: core 2 clears the PTE at its tick)
 
-	if _, ok := p.record(c, State{MM: mm, Start: start, Pages: pages, Mask: mask, Migration: true}); !ok {
+	st, ok := p.record(c, State{MM: mm, Start: start, Pages: pages, Mask: mask, Migration: true})
+	if !ok {
 		// Fallback: do what Linux does, synchronously.
 		k.Metrics.Inc("latr.fallback_ipi", 1)
 		for i := 0; i < pages; i++ {
@@ -327,6 +348,12 @@ func (p *Policy) NUMAUnmap(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages in
 	}
 	k.Metrics.Inc("shootdown.initiated", 1)
 	k.Metrics.Inc("latr.migration_states", 1)
+	if sp := c.Span(); sp != nil {
+		sp.SetTargets(mask)
+		st.span = sp
+		sp.Retain()
+		sp.MarkLazy(obs.PhaseSend, c.ID, k.Now(), k.Cost.LATRStateSave)
+	}
 	c.Busy(k.Cost.LATRStateSave, false, done)
 }
 
@@ -390,6 +417,9 @@ func (p *Policy) sweep(c *kernel.Core) sim.Time {
 		cost += m.TLBFullFlush
 	}
 	for _, st := range relevant {
+		// Phase slices serialize on the sweeping core: each state's visit
+		// begins where the previous one's work ended.
+		visitBegin := k.Now() + cost
 		if st.Migration && !st.pteDone {
 			// First sweeping core performs the deferred page-table unmap
 			// ("Clear PTE" in Fig 3b).
@@ -405,20 +435,33 @@ func (p *Policy) sweep(c *kernel.Core) sim.Time {
 		}
 		cost += m.LATRSweepPerEntry
 		k.Metrics.Observe("latr.sweep_visit", m.LATRSweepPerEntry)
-		k.Trace(c.ID, "sweep", "invalidate [%#x,+%d), clear bit", uint64(st.Start.Addr()), st.Pages)
+		if st.span != nil {
+			st.span.MarkLazy(obs.PhaseInvalidate, c.ID, visitBegin, k.Now()+cost-visitBegin)
+		} else {
+			k.Trace(c.ID, "sweep", "invalidate [%#x,+%d), clear bit", uint64(st.Start.Addr()), st.Pages)
+		}
 		st.Mask.Clear(c.ID)
 		if st.Mask.Empty() {
-			p.completeState(st)
+			p.completeState(st, c.ID, k.Now()+cost)
 		}
 	}
 	return cost
 }
 
 // completeState deactivates a fully-swept state and releases gated faults.
-func (p *Policy) completeState(st *State) {
+// by is the core whose sweep cleared the last mask bit and at is when that
+// sweep's work finishes (the state quiesce point, which may trail k.Now()
+// by the sweep cost accumulated so far); the span's quiesce is marked on
+// that lane and the state's retained reference dropped.
+func (p *Policy) completeState(st *State, by topo.CoreID, at sim.Time) {
 	st.Active = false
 	p.k.Metrics.Inc("latr.states_completed", 1)
 	p.k.Metrics.Observe("latr.state_lifetime", p.k.Now()-st.recordedAt)
+	if sp := st.span; sp != nil {
+		st.span = nil
+		sp.MarkLazy(obs.PhaseAck, by, at, 0)
+		sp.Release(at)
+	}
 	if len(st.waiters) > 0 {
 		ws := st.waiters
 		st.waiters = nil
@@ -484,15 +527,22 @@ func (p *Policy) forceSweep(st *State) {
 		st.pteDone = true
 	}
 	cores := st.Mask.Cores()
+	last := topo.CoreID(0)
+	forcedCost := m.LATRSweepPerEntry + sim.Time(st.Pages)*m.InvlpgLocal
 	for _, id := range cores {
 		c := k.Cores[id]
 		c.TLB.InvalidateRange(c.PCIDOf(st.MM), st.Start, st.Start+pt.VPN(st.Pages))
-		c.Inject(m.LATRSweepPerEntry + sim.Time(st.Pages)*m.InvlpgLocal)
+		c.Inject(forcedCost)
 		st.Mask.Clear(id)
-		k.Trace(id, "sweep", "forced invalidate [%#x,+%d) (gate timeout)", uint64(st.Start.Addr()), st.Pages)
+		if st.span != nil {
+			st.span.MarkLazy(obs.PhaseInvalidate, id, k.Now(), forcedCost)
+		} else {
+			k.Trace(id, "sweep", "forced invalidate [%#x,+%d) (gate timeout)", uint64(st.Start.Addr()), st.Pages)
+		}
+		last = id
 	}
 	if st.Mask.Empty() {
-		p.completeState(st)
+		p.completeState(st, last, k.Now()+forcedCost)
 	}
 }
 
@@ -531,6 +581,15 @@ func (p *Policy) reclaimPass(now sim.Time) {
 				// state is live, manufacturing the §4.2 violation so the
 				// auditor's detection can be proven.
 				k.Metrics.Inc("chaos.unsafe_reclaim", 1)
+				// The state will never legitimately quiesce once its memory
+				// is gone: abandon the span's quiesce hold here (flagged
+				// unsafe) so the lifecycle still closes while the auditor
+				// reports the violation.
+				if sp := e.state.span; sp != nil {
+					e.state.span = nil
+					sp.MarkUnsafe(obs.PhaseAck, e.initiator.ID, now, 0)
+					sp.Release(now)
+				}
 			} else {
 				k.Metrics.Inc("latr.reclaim_deferred", 1)
 				e.deadline = now + p.cfg.ReclaimPeriod
@@ -545,7 +604,12 @@ func (p *Policy) reclaimPass(now sim.Time) {
 		k.Metrics.GaugeAdd("latr.lazy_frames", -int64(len(e.u.Frames)))
 		k.Metrics.GaugeAdd("latr.lazy_bytes", -int64(e.u.Pages)*4096)
 		k.Metrics.Inc("latr.reclaimed", 1)
-		k.Trace(e.initiator.ID, "reclaim", "freed [%#x,+%d) after %v", uint64(e.u.Start.Addr()), e.u.Pages, now-(e.deadline-p.cfg.ReclaimDelay))
+		if e.u.Span != nil {
+			e.u.Span.MarkLazy(obs.PhaseReclaim, e.initiator.ID, now, k.Cost.LATRReclaimPerEntry)
+			e.u.Span.Release(now)
+		} else {
+			k.Trace(e.initiator.ID, "reclaim", "freed [%#x,+%d) after %v", uint64(e.u.Start.Addr()), e.u.Pages, now-(e.deadline-p.cfg.ReclaimDelay))
+		}
 		// The reclaim work steals CPU on the initiating core, like the
 		// kernel thread would.
 		e.initiator.Inject(k.Cost.LATRReclaimPerEntry)
@@ -586,6 +650,15 @@ func (p *Policy) auditPass(now sim.Time) {
 				Detail: fmt.Sprintf("state [%#x,+%d) slot %d migration=%v mask=%v active for %v",
 					uint64(st.Start.Addr()), st.Pages, i, st.Migration, st.Mask, age),
 			})
+			// A leaked state will never quiesce, so its span's quiesce hold
+			// would stay open forever. Abandon it (flagged unsafe) — the
+			// violation above is the record of why — so the span lifecycle
+			// terminates even with the sweep machinery dead.
+			if sp := st.span; sp != nil {
+				st.span = nil
+				sp.MarkUnsafe(obs.PhaseAck, topo.CoreID(coreIdx), now, 0)
+				sp.Release(now)
+			}
 			if n := len(st.waiters); n > 0 {
 				k.Metrics.Inc("audit.lost_waiter", uint64(n))
 				k.Audit.Report(tlb.Violation{

@@ -1,0 +1,208 @@
+package experiments
+
+// This file is the benchmark regression gate: the machine-readable form of
+// a Table (what `latr-bench -json` writes as BENCH_<id>.json) plus a
+// tolerance diff against a committed baseline. CI runs the cheap
+// experiments and fails when any cell drifts past the tolerance.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchJSON is one experiment's archived result. The deterministic engine
+// makes every cell reproducible for a given (seed, quick) pair, so the
+// only legitimate sources of drift are intentional model changes.
+type BenchJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Quick   bool       `json:"quick"`
+	Seed    uint64     `json:"seed"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	WallSec float64    `json:"wall_sec"`
+}
+
+// BenchJSONFromTable captures a finished Table and the options that
+// produced it.
+func BenchJSONFromTable(t *Table, o Options, wallSec float64) BenchJSON {
+	return BenchJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Quick:   o.Quick,
+		Seed:    o.Seed,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+		WallSec: wallSec,
+	}
+}
+
+// Marshal renders the baseline file bytes (indented, trailing newline).
+func (b BenchJSON) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadBenchJSON reads one BENCH_<id>.json baseline.
+func LoadBenchJSON(path string) (BenchJSON, error) {
+	var b BenchJSON
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("experiments: parse %s: %w", path, err)
+	}
+	if b.ID == "" || len(b.Columns) == 0 {
+		return b, fmt.Errorf("experiments: %s is not a bench baseline (no id/columns)", path)
+	}
+	return b, nil
+}
+
+// Tolerance bounds the acceptable drift per cell. Comparison is symmetric
+// (an improvement past the bound fails too): the gate detects *unintended
+// model drift*, and a speedup nobody can explain is exactly as suspicious
+// as a slowdown.
+type Tolerance struct {
+	// Rel is the relative bound for scalar cells (latencies, rates,
+	// runtimes): |cur-base| / max(|base|, |cur|) must not exceed it.
+	Rel float64
+	// Pct is the absolute percentage-point bound for "%"-suffixed cells
+	// (overheads, speedups), which are already relative quantities.
+	Pct float64
+}
+
+// DefaultTolerance is deliberately loose: quick-mode runs are small, so
+// genuine model changes move cells by far more than this, while identical
+// code reproduces them exactly.
+func DefaultTolerance() Tolerance { return Tolerance{Rel: 0.10, Pct: 5.0} }
+
+// CellDiff is one cell that drifted out of tolerance.
+type CellDiff struct {
+	Row, Col int
+	Column   string // column header
+	Label    string // first cell of the row, the series label
+	Baseline string
+	Current  string
+	// Delta is the measured drift: relative for scalar cells, percentage
+	// points for % cells, NaN for non-numeric text mismatches.
+	Delta float64
+}
+
+func (d CellDiff) String() string {
+	kind := fmt.Sprintf("drift %.1f%%", d.Delta*100)
+	if math.IsNaN(d.Delta) {
+		kind = "text mismatch"
+	} else if strings.HasSuffix(strings.TrimSpace(d.Baseline), "%") {
+		kind = fmt.Sprintf("drift %.1f points", d.Delta)
+	}
+	return fmt.Sprintf("row %q col %q: baseline %q vs current %q (%s)",
+		d.Label, d.Column, d.Baseline, d.Current, kind)
+}
+
+// parseCell extracts the numeric value of one formatted cell. The second
+// result reports whether the cell is a percentage (already-relative).
+func parseCell(s string) (val float64, pct, ok bool) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasSuffix(s, "%"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%"), 64)
+		return v, true, err == nil
+	case strings.HasSuffix(s, "k/s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "k/s"), 64)
+		return v, false, err == nil
+	case strings.HasSuffix(s, "/s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "/s"), 64)
+		return v, false, err == nil
+	case strings.HasSuffix(s, "us"):
+		// fmtUS's "us" is not a Go duration suffix ("µs" is).
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "us"), 64)
+		return v, false, err == nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return d.Seconds(), false, true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, false, err == nil
+}
+
+// CompareBench diffs current against baseline cell by cell. A structural
+// mismatch — different experiment, run options, columns or row labels —
+// is an error (the runs are not comparable); out-of-tolerance cells come
+// back as diffs. wall_sec is ignored: host wall-clock is the one
+// non-deterministic field.
+func CompareBench(baseline, current BenchJSON, tol Tolerance) ([]CellDiff, error) {
+	if baseline.ID != current.ID {
+		return nil, fmt.Errorf("experiments: comparing %q against baseline %q", current.ID, baseline.ID)
+	}
+	if baseline.Quick != current.Quick || baseline.Seed != current.Seed {
+		return nil, fmt.Errorf("experiments: %s run options differ (baseline quick=%v seed=%d, current quick=%v seed=%d)",
+			baseline.ID, baseline.Quick, baseline.Seed, current.Quick, current.Seed)
+	}
+	if strings.Join(baseline.Columns, "\x00") != strings.Join(current.Columns, "\x00") {
+		return nil, fmt.Errorf("experiments: %s columns changed (baseline %v, current %v) — regenerate the baseline",
+			baseline.ID, baseline.Columns, current.Columns)
+	}
+	if len(baseline.Rows) != len(current.Rows) {
+		return nil, fmt.Errorf("experiments: %s row count changed (baseline %d, current %d) — regenerate the baseline",
+			baseline.ID, len(baseline.Rows), len(current.Rows))
+	}
+	if tol.Rel == 0 && tol.Pct == 0 {
+		tol = DefaultTolerance()
+	}
+	var diffs []CellDiff
+	for r := range baseline.Rows {
+		brow, crow := baseline.Rows[r], current.Rows[r]
+		if len(brow) != len(crow) {
+			return nil, fmt.Errorf("experiments: %s row %d cell count changed (baseline %d, current %d)",
+				baseline.ID, r, len(brow), len(crow))
+		}
+		label := ""
+		if len(brow) > 0 {
+			label = brow[0]
+		}
+		for cix := range brow {
+			bcell, ccell := brow[cix], crow[cix]
+			if bcell == ccell {
+				continue
+			}
+			col := ""
+			if cix < len(baseline.Columns) {
+				col = baseline.Columns[cix]
+			}
+			bv, bpct, bok := parseCell(bcell)
+			cv, cpct, cok := parseCell(ccell)
+			if !bok || !cok || bpct != cpct {
+				diffs = append(diffs, CellDiff{Row: r, Col: cix, Column: col, Label: label,
+					Baseline: bcell, Current: ccell, Delta: math.NaN()})
+				continue
+			}
+			if bpct {
+				if delta := math.Abs(cv - bv); delta > tol.Pct {
+					diffs = append(diffs, CellDiff{Row: r, Col: cix, Column: col, Label: label,
+						Baseline: bcell, Current: ccell, Delta: delta})
+				}
+				continue
+			}
+			denom := math.Max(math.Abs(bv), math.Abs(cv))
+			if denom == 0 {
+				continue
+			}
+			if delta := math.Abs(cv-bv) / denom; delta > tol.Rel {
+				diffs = append(diffs, CellDiff{Row: r, Col: cix, Column: col, Label: label,
+					Baseline: bcell, Current: ccell, Delta: delta})
+			}
+		}
+	}
+	return diffs, nil
+}

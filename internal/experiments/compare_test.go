@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseBench() BenchJSON {
+	return BenchJSON{
+		ID:      "table9",
+		Title:   "synthetic",
+		Quick:   true,
+		Seed:    1,
+		Columns: []string{"policy", "lat", "rate", "overhead"},
+		Rows: [][]string{
+			{"linux", "881.0ns", "54.3k/s", "12.0%"},
+			{"latr", "12.5us", "61.0k/s", "3.4%"},
+		},
+		WallSec: 0.4,
+	}
+}
+
+// TestParseCell covers every cell format the tables emit.
+func TestParseCell(t *testing.T) {
+	for _, tc := range []struct {
+		in  string
+		val float64
+		pct bool
+		ok  bool
+	}{
+		{"881.0ns", 881e-9, false, true}, // time.ParseDuration -> seconds
+		{"12.5us", 12.5, false, true},    // fmtUS suffix, kept as-is
+		{"1.5ms", 0.0015, false, true},
+		{"54.3k/s", 54.3, false, true},
+		{"200/s", 200, false, true},
+		{"12.0%", 12.0, true, true},
+		{"+3.4%", 3.4, true, true},
+		{"  7 ", 7, false, true},
+		{"linux", 0, false, false},
+		{"n/a", 0, false, false},
+	} {
+		val, pct, ok := parseCell(tc.in)
+		if ok != tc.ok || pct != tc.pct || (ok && math.Abs(val-tc.val) > 1e-12) {
+			t.Errorf("parseCell(%q) = (%v, %v, %v), want (%v, %v, %v)",
+				tc.in, val, pct, ok, tc.val, tc.pct, tc.ok)
+		}
+	}
+}
+
+// TestCompareIdentical: identical results produce no diffs.
+func TestCompareIdentical(t *testing.T) {
+	diffs, err := CompareBench(baseBench(), baseBench(), Tolerance{})
+	if err != nil || len(diffs) != 0 {
+		t.Fatalf("identical compare: diffs=%v err=%v", diffs, err)
+	}
+}
+
+// TestCompareWallSecIgnored: wall clock is host noise, never a diff.
+func TestCompareWallSecIgnored(t *testing.T) {
+	cur := baseBench()
+	cur.WallSec = 99.0
+	if diffs, err := CompareBench(baseBench(), cur, Tolerance{}); err != nil || len(diffs) != 0 {
+		t.Fatalf("wall_sec drift flagged: diffs=%v err=%v", diffs, err)
+	}
+}
+
+// TestCompareScalarDrift: a scalar cell past Rel is flagged, and the
+// comparison is symmetric (an equally large improvement fails too).
+func TestCompareScalarDrift(t *testing.T) {
+	for _, cell := range []string{"1210.0ns", "640.0ns"} { // +37% / -27%
+		cur := baseBench()
+		cur.Rows[0][1] = cell
+		diffs, err := CompareBench(baseBench(), cur, Tolerance{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diffs) != 1 {
+			t.Fatalf("cell %q: diffs = %v, want 1", cell, diffs)
+		}
+		d := diffs[0]
+		if d.Row != 0 || d.Col != 1 || d.Column != "lat" || d.Label != "linux" {
+			t.Errorf("diff location wrong: %+v", d)
+		}
+		if math.IsNaN(d.Delta) || d.Delta <= 0.10 {
+			t.Errorf("delta = %v, want > Rel", d.Delta)
+		}
+		if !strings.Contains(d.String(), "drift") {
+			t.Errorf("String() = %q", d.String())
+		}
+	}
+}
+
+// TestCompareScalarWithinTolerance: small drift passes; a wider explicit
+// tolerance admits larger drift.
+func TestCompareScalarWithinTolerance(t *testing.T) {
+	cur := baseBench()
+	cur.Rows[0][1] = "900.0ns" // ~2%
+	if diffs, _ := CompareBench(baseBench(), cur, Tolerance{}); len(diffs) != 0 {
+		t.Errorf("2%% drift flagged at default tolerance: %v", diffs)
+	}
+	cur.Rows[0][1] = "1210.0ns"
+	if diffs, _ := CompareBench(baseBench(), cur, Tolerance{Rel: 0.5, Pct: 5}); len(diffs) != 0 {
+		t.Errorf("37%% drift flagged at Rel=0.5: %v", diffs)
+	}
+}
+
+// TestComparePctCells: "%" cells use the absolute point bound, not Rel.
+func TestComparePctCells(t *testing.T) {
+	cur := baseBench()
+	cur.Rows[0][3] = "15.0%" // +3 points = 25% relative; only Pct applies
+	if diffs, _ := CompareBench(baseBench(), cur, Tolerance{}); len(diffs) != 0 {
+		t.Errorf("3-point drift flagged under Pct=5: %v", diffs)
+	}
+	cur.Rows[0][3] = "19.0%" // +7 points
+	diffs, _ := CompareBench(baseBench(), cur, Tolerance{})
+	if len(diffs) != 1 || diffs[0].Delta != 7.0 {
+		t.Errorf("7-point drift: %v", diffs)
+	}
+	if !strings.Contains(diffs[0].String(), "points") {
+		t.Errorf("pct diff rendered as %q", diffs[0].String())
+	}
+}
+
+// TestCompareTextMismatch: non-numeric cells that differ are NaN diffs.
+func TestCompareTextMismatch(t *testing.T) {
+	cur := baseBench()
+	cur.Rows[0][0] = "linux-v2"
+	diffs, err := CompareBench(baseBench(), cur, Tolerance{})
+	if err != nil || len(diffs) != 1 || !math.IsNaN(diffs[0].Delta) {
+		t.Fatalf("diffs=%v err=%v", diffs, err)
+	}
+	if !strings.Contains(diffs[0].String(), "text mismatch") {
+		t.Errorf("String() = %q", diffs[0].String())
+	}
+}
+
+// TestCompareStructuralErrors: mismatched identity, options or shape are
+// errors, not diffs — the runs are not comparable.
+func TestCompareStructuralErrors(t *testing.T) {
+	mutate := map[string]func(*BenchJSON){
+		"id":      func(b *BenchJSON) { b.ID = "other" },
+		"quick":   func(b *BenchJSON) { b.Quick = false },
+		"seed":    func(b *BenchJSON) { b.Seed = 7 },
+		"columns": func(b *BenchJSON) { b.Columns = []string{"policy"} },
+		"rows":    func(b *BenchJSON) { b.Rows = b.Rows[:1] },
+		"cells":   func(b *BenchJSON) { b.Rows[0] = b.Rows[0][:2] },
+	}
+	for name, fn := range mutate {
+		cur := baseBench()
+		fn(&cur)
+		if _, err := CompareBench(baseBench(), cur, Tolerance{}); err == nil {
+			t.Errorf("%s mismatch did not error", name)
+		}
+	}
+}
+
+// TestBenchJSONRoundTrip: Marshal/LoadBenchJSON round-trips, and loading
+// rejects files that are not bench baselines.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_table9.json")
+	data, err := baseBench().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs, err := CompareBench(baseBench(), got, Tolerance{}); err != nil || len(diffs) != 0 {
+		t.Fatalf("round trip changed the baseline: diffs=%v err=%v", diffs, err)
+	}
+
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"gomaxprocs": 8}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchJSON(bad); err == nil {
+		t.Error("foreign JSON accepted as a baseline")
+	}
+	if _, err := LoadBenchJSON(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestBenchJSONFromTable captures table content and run options.
+func TestBenchJSONFromTable(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "T", Columns: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
+	b := BenchJSONFromTable(tbl, Options{Quick: true, Seed: 9}, 1.5)
+	if b.ID != "x" || !b.Quick || b.Seed != 9 || b.WallSec != 1.5 || len(b.Rows) != 1 || b.Notes[0] != "n" {
+		t.Errorf("BenchJSONFromTable = %+v", b)
+	}
+}

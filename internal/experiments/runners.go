@@ -23,6 +23,9 @@ type Options struct {
 	CheckInvariants bool
 	// TraceLimit enables event tracing on the kernels built by runners.
 	TraceLimit int
+	// SpanLimit retains up to this many closed obs spans per kernel for
+	// Perfetto export (0 keeps the hot path retention-free).
+	SpanLimit int
 	// Workers sets the experiment-level fan-out: independent runs within a
 	// figure/table execute on up to Workers goroutines (each run still owns
 	// a private kernel). 0 or 1 means sequential; -1 means GOMAXPROCS.
@@ -92,6 +95,7 @@ func newKernel(spec topo.Spec, policy string, o Options) *kernel.Kernel {
 		Seed:            o.Seed ^ 0x9e3779b9,
 		CheckInvariants: o.CheckInvariants,
 		TraceLimit:      o.TraceLimit,
+		SpanLimit:       o.SpanLimit,
 	})
 }
 

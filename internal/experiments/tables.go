@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"latr/internal/cache"
 	"latr/internal/cost"
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/sim"
 	"latr/internal/topo"
 	"latr/internal/workload"
@@ -220,6 +222,64 @@ func Fig2Timeline(o Options) string {
 			policy, k.Tracer.Render())
 	}
 	return out
+}
+
+// figureSpanLimit bounds span retention on the figure-export kernels; the
+// scenarios open far fewer spans than this, so nothing is dropped.
+const figureSpanLimit = 4096
+
+// Fig2Perfetto runs the Fig 2 munmap scenario under Linux and LATR and
+// renders the retained spans as Chrome trace-event JSON — one process per
+// policy, one thread lane per core (loadable in ui.perfetto.dev).
+func Fig2Perfetto(o Options) (string, error) {
+	var groups []obs.Group
+	for i, policy := range []string{"linux", "latr"} {
+		spec := topo.Custom(1, 3)
+		k := kernel.New(spec, cost.Default(spec), mustPolicy(policy), kernel.Options{
+			Seed: o.Seed, SpanLimit: figureSpanLimit, CheckInvariants: true,
+		})
+		m := workload.NewMicro(workload.MicroConfig{Cores: 3, Pages: 1, Iters: 1})
+		m.Setup(k)
+		for k.Now() < sim.Second && !m.Done() {
+			k.Run(k.Now() + 10*sim.Millisecond)
+		}
+		k.Run(k.Now() + 5*sim.Millisecond)
+		groups = append(groups, obs.Group{
+			Label: "fig2 " + policy + ": munmap of one shared page",
+			Pid:   i + 1,
+			Spans: k.Spans.Retained(),
+		})
+	}
+	var b strings.Builder
+	if err := obs.WritePerfetto(&b, groups...); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Fig3Perfetto runs the Fig 3 AutoNUMA scenario under Linux and LATR and
+// renders the spans as Chrome trace-event JSON, like Fig2Perfetto.
+func Fig3Perfetto(o Options) (string, error) {
+	spanned := o
+	spanned.SpanLimit = figureSpanLimit
+	var groups []obs.Group
+	for i, policy := range []string{"linux", "latr"} {
+		res := runWithNUMA(policy, func() numaRunnable {
+			cfg := workload.OceanConfig(coresN(16))
+			cfg.Iterations = 20
+			return workload.NewGrid(cfg)
+		}, spanned)
+		groups = append(groups, obs.Group{
+			Label: "fig3 " + policy + ": AutoNUMA sampling + migration",
+			Pid:   i + 1,
+			Spans: res.Kernel.Spans.Retained(),
+		})
+	}
+	var b strings.Builder
+	if err := obs.WritePerfetto(&b, groups...); err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // Fig3Timeline renders the Fig 3 AutoNUMA timelines (Linux then LATR): the

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"latr/internal/obs"
 	"latr/internal/sim"
 	"latr/internal/tlb"
 	"latr/internal/topo"
@@ -51,6 +52,12 @@ type Core struct {
 
 	quantumStart sim.Time
 	needResched  bool
+
+	// span is the lifecycle span of the coherence operation this core is
+	// currently executing (valid only between a policy entry point being
+	// invoked and its done firing; the core runs no other thread inside
+	// that window because the segment/spin chain is continuous).
+	span *obs.Span
 
 	// Stats.
 	IdleTime   sim.Time
@@ -187,6 +194,16 @@ func (c *Core) BeginSpin() { c.beginSpin() }
 
 // EndSpin exposes spin completion to policy implementations.
 func (c *Core) EndSpin(cont func()) { c.endSpin(cont) }
+
+// Span returns the lifecycle span of the coherence operation the core is
+// currently executing, or nil outside an operation window. Policy code
+// uses it to mark phases without any signature changes.
+func (c *Core) Span() *obs.Span { return c.span }
+
+// SetSpan installs (or, with nil, clears) the core's current operation
+// span. The kernel brackets every policy entry point with it; extensions
+// driving the policy directly (the swapper) do the same.
+func (c *Core) SetSpan(sp *obs.Span) { c.span = sp }
 
 // PCIDOf returns the TLB tag used for mm on this core under the current
 // kernel options.

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"latr/internal/mem"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 )
@@ -97,10 +98,16 @@ func (c *Core) doFork(th *Thread) {
 		k.Metrics.Inc("sys.fork", 1)
 		k.Metrics.Inc("fork.cow_shared_pages", uint64(shared))
 
+		sp := k.Spans.Begin(obs.KindSync, c.ID, 0, k.Cost.FullFlushThreshold+1, k.Now())
+		tB := k.Now()
 		c.busy(cost, true, func() {
+			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)
+			c.SetSpan(sp)
 			// Ownership change: remote writable entries must be gone before
 			// fork returns (full flush on every participating core).
 			k.policy.SyncChange(c, mm, 0, k.Cost.FullFlushThreshold+1, func() {
+				c.SetSpan(nil)
+				sp.Release(k.Now())
 				mm.Sem.ReleaseWrite()
 				th.LastProc = child
 				c.opBoundary()
@@ -163,10 +170,16 @@ func (c *Core) breakCoW(th *Thread, vpn pt.VPN, cont func()) {
 		mm.PT.SetProtection(vpn, true)
 		c.TLB.Invalidate(c.pcid(mm), vpn)
 		k.Metrics.Inc("fault.cow_break", 1)
+		sp := k.Spans.Begin(obs.KindSync, c.ID, vpn, 1, k.Now())
+		tB := k.Now()
 		c.busy(m.PageCopy+m.PTEClearPerPage, false, func() {
+			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)
+			c.SetSpan(sp)
 			// The old shared translation must die system-wide before the
 			// write proceeds (Table 1: sync required).
 			k.policy.SyncChange(c, mm, vpn, 1, func() {
+				c.SetSpan(nil)
+				sp.Release(k.Now())
 				k.Alloc.Put(old.PFN)
 				c.TLB.Insert(c.pcid(mm), vpn, npfn, true)
 				mm.Sem.ReleaseRead()
@@ -205,8 +218,13 @@ func (k *Kernel) ReleaseAddressSpace(c *Core, th *Thread, p *Process, done func(
 		// Pages past the full-flush threshold make every policy (IPI
 		// handler or LATR sweep) fully flush the remote TLBs, covering all
 		// of the torn-down ranges with one state/IPI.
-		u := Unmap{MM: mm, Start: 0, Pages: k.Cost.FullFlushThreshold + 1, Frames: frames, KeepVMA: true}
+		sp := k.Spans.Begin(obs.KindExit, c.ID, 0, k.Cost.FullFlushThreshold+1, k.Now())
+		sp.Mark(obs.PhaseInitiate, c.ID, k.Now(), 0)
+		u := Unmap{MM: mm, Start: 0, Pages: k.Cost.FullFlushThreshold + 1, Frames: frames, KeepVMA: true, Span: sp}
+		c.SetSpan(sp)
 		k.policy.Munmap(c, u, func() {
+			c.SetSpan(nil)
+			sp.Release(k.Now())
 			mm.Sem.ReleaseWrite()
 			k.Metrics.Inc("sys.exit_mmap", 1)
 			done()

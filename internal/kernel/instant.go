@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 )
@@ -41,6 +42,7 @@ func (p *InstantPolicy) Munmap(c *Core, u Unmap, done func()) {
 	if !u.KeepVMA {
 		p.k.ReleaseVA(u.MM, u.Start, u.Pages)
 	}
+	u.Span.Mark(obs.PhaseReclaim, c.ID, p.k.Now(), 0)
 	p.k.Metrics.Inc("shootdown.initiated", 1)
 	done()
 }

@@ -14,6 +14,7 @@ import (
 	"latr/internal/cost"
 	"latr/internal/mem"
 	"latr/internal/metrics"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/tlb"
@@ -39,6 +40,9 @@ type Options struct {
 	Audit bool
 	// TraceLimit bounds recorded trace events (0 disables tracing).
 	TraceLimit int
+	// SpanLimit bounds closed lifecycle spans retained for Perfetto export
+	// (0 retains none; metrics and trace emission are always on).
+	SpanLimit int
 	// Seed feeds all kernel-side randomness.
 	Seed uint64
 }
@@ -54,6 +58,7 @@ type Kernel struct {
 	Audit   *tlb.Auditor
 	Metrics *metrics.Registry
 	Tracer  *trace.Tracer
+	Spans   *obs.Collector
 	Rand    *sim.Rand
 	Opts    Options
 
@@ -98,6 +103,7 @@ func New(spec topo.Spec, model cost.Model, pol Policy, opts Options) *Kernel {
 	if opts.TraceLimit > 0 {
 		k.Tracer = trace.New(opts.TraceLimit)
 	}
+	k.Spans = obs.NewCollector(pol.Name(), k.Metrics, k.Tracer, opts.SpanLimit)
 	for i := 0; i < spec.NumCores(); i++ {
 		k.Cores = append(k.Cores, newCore(k, topo.CoreID(i)))
 	}
@@ -346,9 +352,13 @@ func (k *Kernel) Processes() []*Process {
 // exported for kernel extensions (page migration).
 func (k *Kernel) AllocFrame(node topo.NodeID) (mem.PFN, error) { return k.allocFrame(node) }
 
-// trace records a trace event if tracing is enabled.
+// trace records a trace event if tracing is enabled. Events discarded by
+// a full buffer are surfaced as the trace.dropped counter instead of
+// vanishing silently.
 func (k *Kernel) trace(core topo.CoreID, cat, format string, args ...any) {
-	k.Tracer.Record(k.Now(), core, cat, format, args...)
+	if !k.Tracer.Record(k.Now(), core, cat, format, args...) {
+		k.Metrics.Inc("trace.dropped", 1)
+	}
 }
 
 // Trace exposes trace recording to policy and workload packages.

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"latr/internal/mem"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/topo"
@@ -28,6 +29,9 @@ type Unmap struct {
 	// ForceSync requests synchronous completion even from lazy policies
 	// (the per-call opt-out §7 proposes for fault-on-free applications).
 	ForceSync bool
+	// Span is the operation's lifecycle span. Nil-safe: span-less callers
+	// (direct policy invocations in tests) may leave it unset.
+	Span *obs.Span
 }
 
 // Policy is a TLB-coherence mechanism. All entry points run inside the
@@ -156,11 +160,18 @@ func (k *Kernel) ShootdownTargetMask(self *Core, mm *MM) topo.CoreMask {
 // pages==0 requests a full flush on the targets.
 func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, targets []*Core, done func()) {
 	m := &k.Cost
+	sp := c.Span()
 	if len(targets) == 0 {
 		// Still accounts the fixed setup cost.
+		sp.Mark(obs.PhaseSend, c.ID, k.Now(), m.IPISendBase)
 		c.busy(m.IPISendBase, false, done)
 		return
 	}
+	var targetMask topo.CoreMask
+	for _, t := range targets {
+		targetMask.Set(t.ID)
+	}
+	sp.SetTargets(targetMask)
 	k.Metrics.Inc("shootdown.ipi", 1)
 	k.Metrics.Inc("shootdown.ipi_targets", uint64(len(targets)))
 
@@ -191,6 +202,7 @@ func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, tar
 			if wait > 0 {
 				k.Metrics.Observe("shootdown.ack_wait", wait)
 			}
+			sp.Mark(obs.PhaseAck, c.ID, spinStart, wait)
 			c.endSpin(done)
 		}
 	}
@@ -207,16 +219,37 @@ func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, tar
 				at = k.Now()
 			}
 			k.Engine.At(at, func(sim.Time) {
-				k.deliverShootdownIPI(d.core, mm, start, pages, ackDone)
+				k.deliverShootdownIPI(d.core, mm, start, pages, sp, ackDone)
 			})
 		}
 	})
-	k.trace(c.ID, "ipi", "shootdown sent to %d cores (%d pages)", len(targets), pages)
+	if sp != nil {
+		sp.Mark(obs.PhaseSend, c.ID, k.Now(), sendCost)
+	} else {
+		k.trace(c.ID, "ipi", "shootdown sent to %d cores (%d pages)", len(targets), pages)
+	}
+}
+
+// NUMAUnmap drives the policy's NUMA-unmap entry point with a lifecycle
+// span bracketed around it. The AutoNUMA scanner and chaos workloads call
+// this wrapper instead of the policy directly, so migration unmaps get
+// the same provenance as syscall-driven shootdowns.
+func (k *Kernel) NUMAUnmap(c *Core, mm *MM, start pt.VPN, pages int, done func()) {
+	sp := k.Spans.Begin(obs.KindNUMA, c.ID, start, pages, k.Now())
+	sp.Mark(obs.PhaseInitiate, c.ID, k.Now(), 0)
+	c.SetSpan(sp)
+	k.policy.NUMAUnmap(c, mm, start, pages, func() {
+		c.SetSpan(nil)
+		sp.Release(k.Now())
+		done()
+	})
 }
 
 // deliverShootdownIPI runs (or queues, if interrupts are off) the remote
-// invalidation handler on target core t.
-func (k *Kernel) deliverShootdownIPI(t *Core, mm *MM, start pt.VPN, pages int, ack func(now sim.Time)) {
+// invalidation handler on target core t. sp is the initiator's span (nil
+// for span-less invocations); the handler's invalidation is marked on it
+// under the *target* core's lane.
+func (k *Kernel) deliverShootdownIPI(t *Core, mm *MM, start pt.VPN, pages int, sp *obs.Span, ack func(now sim.Time)) {
 	m := &k.Cost
 	handler := func(now sim.Time) sim.Time {
 		var inval sim.Time
@@ -238,7 +271,11 @@ func (k *Kernel) deliverShootdownIPI(t *Core, mm *MM, start pt.VPN, pages int, a
 		total := m.IPIHandlerEntry + inval + m.IPIAckWrite
 		k.Metrics.Inc("ipi.handled", 1)
 		k.Metrics.Observe("ipi.handler", total)
-		k.trace(t.ID, "ipi", "handler: invalidate %d pages + ACK (%v)", pages, total)
+		if sp != nil {
+			sp.Mark(obs.PhaseInvalidate, t.ID, now, total)
+		} else {
+			k.trace(t.ID, "ipi", "handler: invalidate %d pages + ACK (%v)", pages, total)
+		}
 		k.Engine.At(now+total, func(n sim.Time) { ack(n) })
 		return total + m.IPIHandlerPollution
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"latr/internal/mem"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/topo"
@@ -180,14 +181,23 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 			sim.Time(pteEntries)*m.PTEClearPerPage +
 			m.InvalidateCost(pteEntries) +
 			sim.Time(mm.CPUMask.Count())*m.MunmapContentionPerCore
+		kind := obs.KindMunmap
+		if keepVMA {
+			kind = obs.KindMadvise
+		}
+		sp := k.Spans.Begin(kind, c.ID, addr, pages, t0)
+		tB := k.Now()
 		// The PTE/TLB phase runs with the page-table lock held and
 		// interrupts off; incoming shootdown IPIs queue behind it.
 		c.busy(cost, true, func() {
 			t1 := k.Now()
-			u := Unmap{MM: mm, Start: addr, Pages: pages, Frames: frames, KeepVMA: keepVMA, ForceSync: forceSync}
-			k.trace(c.ID, "munmap", "clear PTE + local inval [%#x,+%d)", uint64(addr.Addr()), pages)
+			sp.Mark(obs.PhaseInitiate, c.ID, tB, t1-tB)
+			u := Unmap{MM: mm, Start: addr, Pages: pages, Frames: frames, KeepVMA: keepVMA, ForceSync: forceSync, Span: sp}
+			c.SetSpan(sp)
 			k.policy.Munmap(c, u, func() {
 				t2 := k.Now()
+				c.SetSpan(nil)
+				sp.Release(t2)
 				mm.Sem.ReleaseWrite()
 				th.LastAddr = addr
 				if keepVMA {
@@ -240,10 +250,16 @@ func (c *Core) doMprotect(th *Thread, o OpMprotect) {
 			c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
 		}
 		cost := m.SyscallEntry + m.VMAOp + sim.Time(o.Pages)*m.PTEClearPerPage + m.InvalidateCost(o.Pages)
+		sp := k.Spans.Begin(obs.KindSync, c.ID, o.Addr, o.Pages, t0)
+		tB := k.Now()
 		c.busy(cost, true, func() {
+			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)
+			c.SetSpan(sp)
 			// Permission changes must reach the whole system before the
 			// call returns — no lazy option (Table 1).
 			k.policy.SyncChange(c, mm, o.Addr, o.Pages, func() {
+				c.SetSpan(nil)
+				sp.Release(k.Now())
 				mm.Sem.ReleaseWrite()
 				k.Metrics.Inc("sys.mprotect", 1)
 				k.Metrics.Observe("mprotect.latency", k.Now()-t0)
@@ -295,10 +311,16 @@ func (c *Core) doMremap(th *Thread, o OpMremap) {
 		pcid := c.pcid(mm)
 		c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
 		cost := m.SyscallEntry + 2*m.VMAOp + sim.Time(moved)*(m.PTEClearPerPage+m.MmapSetupPerPage) + m.InvalidateCost(o.Pages)
+		sp := k.Spans.Begin(obs.KindSync, c.ID, o.Addr, o.Pages, k.Now())
+		tB := k.Now()
 		c.busy(cost, true, func() {
+			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)
+			c.SetSpan(sp)
 			// The old translation must die system-wide before the call
 			// returns: remap is synchronous under every policy (Table 1).
 			k.policy.SyncChange(c, mm, o.Addr, o.Pages, func() {
+				c.SetSpan(nil)
+				sp.Release(k.Now())
 				k.ReleaseVA(mm, o.Addr, o.Pages)
 				mm.Sem.ReleaseWrite()
 				th.LastAddr = newStart

@@ -273,9 +273,16 @@ func (r *Registry) Fingerprint() uint64 {
 }
 
 // Dump renders all metrics, one per line.
-func (r *Registry) Dump() string {
+func (r *Registry) Dump() string { return r.DumpPrefix("") }
+
+// DumpPrefix renders the metrics whose names start with prefix, one per
+// line, in the same format as Dump. An empty prefix matches everything.
+func (r *Registry) DumpPrefix(prefix string) string {
 	var b strings.Builder
 	for _, n := range r.Names() {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
 		if c, ok := r.counters[n]; ok {
 			fmt.Fprintf(&b, "%-40s %d\n", n, *c)
 		}

@@ -190,7 +190,7 @@ func (a *AutoNUMA) scan(c *kernel.Core, th *kernel.Thread, done func()) {
 		}
 		r := runs[i]
 		r.mm.Sem.AcquireRead(c, th, func() {
-			a.k.Policy().NUMAUnmap(c, r.mm, r.start, r.pages, func() {
+			a.k.NUMAUnmap(c, r.mm, r.start, r.pages, func() {
 				r.mm.Sem.ReleaseRead()
 				next(i + 1)
 			})

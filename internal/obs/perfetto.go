@@ -1,0 +1,119 @@
+// Chrome trace-event / Perfetto JSON export. The output is the legacy
+// JSON trace format (https://ui.perfetto.dev loads it directly): one
+// process per policy run, one thread lane per simulated core, each span
+// as an async "b"/"e" pair on its initiator's lane and each phase as a
+// complete "X" slice on the core that executed it. Timestamps are
+// microseconds rendered with fixed nanosecond precision via integer
+// arithmetic, so the bytes are deterministic for a given seed.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// Group is one process in the exported trace: a labelled span set,
+// typically one policy's run.
+type Group struct {
+	Label string
+	Pid   int
+	Spans []*Span
+}
+
+// usec renders a sim.Time (ns) as a microsecond JSON number with three
+// decimals, using integer math only.
+func usec(t sim.Time) string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, int64(t)/1000, int64(t)%1000)
+}
+
+func jsonStr(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, "\\u%04x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// WritePerfetto writes the groups as one Chrome trace-event JSON
+// document. Spans are ordered by (open time, ID) within each group, so
+// the output is byte-stable for a given set of spans.
+func WritePerfetto(w io.Writer, groups ...Group) error {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	ev := func(format string, args ...any) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+	for _, g := range groups {
+		spans := make([]*Span, len(g.Spans))
+		copy(spans, g.Spans)
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].OpenedAt != spans[j].OpenedAt {
+				return spans[i].OpenedAt < spans[j].OpenedAt
+			}
+			return spans[i].ID < spans[j].ID
+		})
+
+		ev(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			g.Pid, jsonStr(g.Label))
+		var lanes topo.CoreMask
+		for _, s := range spans {
+			lanes.Set(s.Initiator)
+			for _, e := range s.Events {
+				lanes.Set(e.Core)
+			}
+		}
+		lanes.ForEach(func(c topo.CoreID) {
+			ev(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"core %d"}}`,
+				g.Pid, int(c), int(c))
+		})
+
+		for _, s := range spans {
+			name := jsonStr(fmt.Sprintf("%s [%#x,+%d)", s.Kind, s.Start.Addr(), s.Pages))
+			cat := jsonStr(s.Kind.String())
+			ev(`{"ph":"b","cat":%s,"id":"0x%x","pid":%d,"tid":%d,"ts":%s,"name":%s,"args":{"policy":%s,"targets":%s,"pages":%d,"lazy":%v,"unsafe":%v}}`,
+				cat, s.ID, g.Pid, int(s.Initiator), usec(s.OpenedAt), name,
+				jsonStr(s.col.Policy()), jsonStr(s.Targets.String()), s.Pages, s.Lazy, s.Unsafe)
+			for _, e := range s.Events {
+				slice := e.Phase.String()
+				if e.Lazy {
+					slice += " (lazy)"
+				}
+				ev(`{"ph":"X","cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{"span":%d}}`,
+					jsonStr(s.Kind.String()+"."+e.Phase.String()), g.Pid, int(e.Core),
+					usec(e.Begin), usec(e.Dur), jsonStr(slice), s.ID)
+			}
+			ev(`{"ph":"e","cat":%s,"id":"0x%x","pid":%d,"tid":%d,"ts":%s,"name":%s}`,
+				cat, s.ID, g.Pid, int(s.Initiator), usec(s.ClosedAt), name)
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

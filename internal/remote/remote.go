@@ -26,6 +26,7 @@ import (
 
 	"latr/internal/cost"
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/topo"
@@ -165,6 +166,7 @@ func (b *Backend) Store(c *kernel.Core, mm *kernel.MM, vpn pt.VPN, done func()) 
 			b.remoteFree = svc + b.m.RemoteServePeriod
 			complete = svc + b.m.RemoteServePeriod
 		}
+		c.Span().Mark(obs.PhaseStore, c.ID, now, complete-now)
 		k.Engine.At(complete, func(sim.Time) {
 			k.Metrics.ObservePerc("remote.store_latency", k.Now()-now)
 			if b.inflight[key] == fl {

@@ -2,6 +2,7 @@ package shootdown
 
 import (
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/topo"
@@ -120,6 +121,7 @@ func (p *ABIS) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 		}
 		finish := func() {
 			freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+			u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), freeCost)
 			c.Busy(freeCost, false, func() {
 				k.ReleaseFrames(u.Frames)
 				if !u.KeepVMA {

@@ -2,8 +2,10 @@ package shootdown
 
 import (
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/topo"
 )
 
 // Barrelfish models the multikernel's message-passing shootdown (§2.3):
@@ -34,20 +36,28 @@ func (p *Barrelfish) Name() string { return "barrelfish" }
 // are in.
 func (p *Barrelfish) shoot(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages int, done func()) {
 	k := p.k
+	sp := c.Span()
 	targets := k.ShootdownTargets(c, mm)
 	if len(targets) == 0 {
 		done()
 		return
 	}
+	var targetMask topo.CoreMask
+	for _, t := range targets {
+		targetMask.Set(t.ID)
+	}
+	sp.SetTargets(targetMask)
 	k.Metrics.Inc("shootdown.initiated", 1)
 	k.Metrics.Inc("shootdown.msg_targets", uint64(len(targets)))
 
 	m := &k.Cost
 	sendCost := sim.Time(len(targets)) * m.MsgSendPerTarget
+	sp.Mark(obs.PhaseSend, c.ID, k.Now(), sendCost)
 	pending := len(targets)
 	c.Busy(sendCost, false, func() {
 		c.BeginSpin()
 		now := k.Now()
+		spinStart := now
 		for i, t := range targets {
 			t := t
 			// The remote core notices the message at its next poll point;
@@ -55,7 +65,7 @@ func (p *Barrelfish) shoot(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages in
 			phase := m.MsgPollPeriod * sim.Time(int(t.ID)+1) / sim.Time(k.Spec.NumCores()+1)
 			wait := m.MsgPollPeriod - ((now+sim.Time(i)-phase)%m.MsgPollPeriod+m.MsgPollPeriod)%m.MsgPollPeriod
 			handleAt := now + wait
-			k.Engine.At(handleAt, func(sim.Time) {
+			k.Engine.At(handleAt, func(hnow sim.Time) {
 				var inval sim.Time
 				if pages <= 0 || pages > m.FullFlushThreshold {
 					t.TLB.FlushAll()
@@ -67,9 +77,11 @@ func (p *Barrelfish) shoot(c *kernel.Core, mm *kernel.MM, start pt.VPN, pages in
 				cost := m.MsgHandle + inval
 				t.Inject(cost)
 				k.Metrics.Inc("msg.handled", 1)
-				k.Engine.After(cost, func(sim.Time) {
+				sp.Mark(obs.PhaseInvalidate, t.ID, hnow, cost)
+				k.Engine.After(cost, func(anow sim.Time) {
 					pending--
 					if pending == 0 {
+						sp.Mark(obs.PhaseAck, c.ID, spinStart, anow-spinStart)
 						c.EndSpin(done)
 					}
 				})
@@ -83,6 +95,7 @@ func (p *Barrelfish) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 	k := p.k
 	p.shoot(c, u.MM, u.Start, u.Pages, func() {
 		freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+		u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), freeCost)
 		c.Busy(freeCost, false, func() {
 			k.ReleaseFrames(u.Frames)
 			if !u.KeepVMA {

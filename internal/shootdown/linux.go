@@ -7,6 +7,7 @@ package shootdown
 
 import (
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 )
@@ -40,6 +41,7 @@ func (p *Linux) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 	k := p.k
 	finish := func() {
 		freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+		u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), freeCost)
 		c.Busy(freeCost, false, func() {
 			k.ReleaseFrames(u.Frames)
 			if !u.KeepVMA {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"latr/internal/kernel"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 )
@@ -79,6 +80,7 @@ func (p *Mutant) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 		if !u.KeepVMA {
 			k.ReleaseVA(u.MM, u.Start, u.Pages)
 		}
+		u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), 0)
 		done()
 	case MutLeakFrames:
 		// Correct coherence, but the frames and VA are never released.
@@ -91,6 +93,7 @@ func (p *Mutant) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 	case MutSkipOneTarget:
 		finish := func() {
 			freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
+			u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), freeCost)
 			c.Busy(freeCost, false, func() {
 				k.ReleaseFrames(u.Frames)
 				if !u.KeepVMA {

@@ -23,6 +23,7 @@ import (
 
 	"latr/internal/kernel"
 	"latr/internal/mem"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/sim"
 	"latr/internal/topo"
@@ -162,6 +163,7 @@ func (c Config) withDefaults() Config {
 // experiments used: a fixed per-page write/read latency charged as busy
 // time on the initiating core, no queueing, no capacity limit.
 type LocalBackend struct {
+	k           *kernel.Kernel
 	write, read sim.Time
 }
 
@@ -181,11 +183,14 @@ func NewLocalBackend(write, read sim.Time) *LocalBackend {
 // Name identifies the backend.
 func (b *LocalBackend) Name() string { return "nvme" }
 
-// Attach implements Backend (the local device needs no kernel state).
-func (b *LocalBackend) Attach(*kernel.Kernel) {}
+// Attach implements Backend.
+func (b *LocalBackend) Attach(k *kernel.Kernel) { b.k = k }
 
 // Store charges the device write as busy time on the initiating core.
 func (b *LocalBackend) Store(c *kernel.Core, _ *kernel.MM, _ pt.VPN, done func()) {
+	if b.k != nil {
+		c.Span().Mark(obs.PhaseStore, c.ID, b.k.Now(), b.write)
+	}
 	c.Busy(b.write, false, done)
 }
 
@@ -369,19 +374,27 @@ func (s *Swapper) pass(c *kernel.Core, th *kernel.Thread, done func()) {
 			}
 			perMM[v.vpn] = true
 			t0 := s.k.Now()
+			sp := s.k.Spans.Begin(obs.KindSwap, c.ID, v.vpn, 1, t0)
+			sp.Mark(obs.PhaseInitiate, c.ID, t0, 0)
 			u := kernel.Unmap{
 				MM:      v.mm,
 				Start:   v.vpn,
 				Pages:   1,
 				Frames:  []kernel.FrameRef{{VPN: v.vpn, PFN: old.PFN}},
 				KeepVMA: true,
+				Span:    sp,
 			}
+			c.SetSpan(sp)
 			s.k.Policy().Munmap(c, u, func() {
 				s.k.Metrics.Observe("swap.unmap_wait", s.k.Now()-t0)
+				// The span stays installed across the device write so the
+				// backend can mark its store slice on the swapper's lane.
 				s.backend.Store(c, v.mm, v.vpn, func() {
+					c.SetSpan(nil)
 					v.mm.Sem.ReleaseWrite()
 					s.k.Metrics.Inc("swap.out", 1)
 					s.k.Metrics.ObservePerc("swap.evict_hold", s.k.Now()-t0)
+					sp.Release(s.k.Now())
 					next(i + 1)
 				})
 			})

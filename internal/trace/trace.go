@@ -24,8 +24,9 @@ type Event struct {
 // Tracer collects events. A nil *Tracer is valid and records nothing, so
 // the kernel can trace unconditionally.
 type Tracer struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped uint64
 }
 
 // New returns a tracer that keeps at most limit events (0 = unlimited).
@@ -33,15 +34,30 @@ func New(limit int) *Tracer {
 	return &Tracer{limit: limit}
 }
 
-// Record appends an event. It is a no-op on a nil tracer or when full.
-func (t *Tracer) Record(now sim.Time, core topo.CoreID, cat, format string, args ...any) {
+// Record appends an event and reports whether it was kept. Recording on a
+// nil tracer reports true: tracing being off is not data loss. Once the
+// buffer is full every further event is counted in Dropped and reported
+// false, so callers can surface truncation instead of silently losing the
+// tail of the timeline.
+func (t *Tracer) Record(now sim.Time, core topo.CoreID, cat, format string, args ...any) bool {
 	if t == nil {
-		return
+		return true
 	}
 	if t.limit > 0 && len(t.events) >= t.limit {
-		return
+		t.dropped++
+		return false
 	}
 	t.events = append(t.events, Event{now, core, cat, fmt.Sprintf(format, args...)})
+	return true
+}
+
+// Dropped returns how many events were discarded because the buffer had
+// already reached its limit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }
 
 // Events returns the recorded events in time order.

@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"latr/internal/sim"
 )
 
 func TestNilTracerSafe(t *testing.T) {
@@ -30,6 +32,49 @@ func TestLimit(t *testing.T) {
 	}
 	if len(tr.Events()) != 3 {
 		t.Fatalf("limit not enforced: %d", len(tr.Events()))
+	}
+}
+
+// TestDroppedCounter: Record reports true while the buffer has room, false
+// once it is full, and every rejected event is tallied in Dropped.
+func TestDroppedCounter(t *testing.T) {
+	tr := New(2)
+	if tr.Dropped() != 0 {
+		t.Fatalf("fresh tracer Dropped = %d", tr.Dropped())
+	}
+	for i := 0; i < 2; i++ {
+		if !tr.Record(sim.Time(i), 0, "x", "kept") {
+			t.Fatalf("Record %d rejected below the limit", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if tr.Record(10, 0, "x", "over") {
+			t.Fatal("Record accepted an event past the limit")
+		}
+	}
+	if got := tr.Dropped(); got != 5 {
+		t.Errorf("Dropped = %d, want 5", got)
+	}
+	if len(tr.Events()) != 2 {
+		t.Errorf("kept %d events, want 2", len(tr.Events()))
+	}
+}
+
+// TestDroppedNilAndUnlimited: a nil tracer reports success (tracing off is
+// not loss) and an unlimited tracer never drops.
+func TestDroppedNilAndUnlimited(t *testing.T) {
+	var nilTr *Tracer
+	if !nilTr.Record(1, 0, "x", "e") || nilTr.Dropped() != 0 {
+		t.Error("nil tracer should accept silently with zero drops")
+	}
+	tr := New(0)
+	for i := 0; i < 1000; i++ {
+		if !tr.Record(1, 0, "x", "e") {
+			t.Fatal("unlimited tracer rejected an event")
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("unlimited tracer Dropped = %d", tr.Dropped())
 	}
 }
 

@@ -34,6 +34,8 @@
 package latr
 
 import (
+	"io"
+
 	"latr/internal/chaos"
 	latrcore "latr/internal/core"
 	"latr/internal/cost"
@@ -42,6 +44,7 @@ import (
 	"latr/internal/litmus"
 	"latr/internal/metrics"
 	"latr/internal/numa"
+	"latr/internal/obs"
 	"latr/internal/pt"
 	"latr/internal/remote"
 	"latr/internal/shootdown"
@@ -135,7 +138,19 @@ type (
 	Tracer = trace.Tracer
 	// CostModel holds every latency constant of the machine model.
 	CostModel = cost.Model
+	// Span is the lifecycle record of one coherence operation.
+	Span = obs.Span
+	// SpanCollector owns span allocation, phase metrics and retention.
+	SpanCollector = obs.Collector
+	// SpanGroup labels one span set as a process in a Perfetto export.
+	SpanGroup = obs.Group
 )
+
+// WritePerfettoGroups writes arbitrary span groups (e.g. one per policy
+// run) as a single Chrome trace-event JSON document.
+func WritePerfettoGroups(w io.Writer, groups ...SpanGroup) error {
+	return obs.WritePerfetto(w, groups...)
+}
 
 // Thread operations, re-exported.
 type (
@@ -284,6 +299,10 @@ type Config struct {
 	Audit bool
 	// TraceLimit enables event tracing, keeping at most this many events.
 	TraceLimit int
+	// SpanLimit retains up to this many closed observability spans for
+	// Perfetto export (System.WritePerfetto). Span metrics and canonical
+	// trace emission are always on; only retention is bounded by this.
+	SpanLimit int
 	// Seed drives all simulation randomness (default 1).
 	Seed uint64
 	// Cost overrides the calibrated latency model when non-nil.
@@ -334,6 +353,7 @@ func NewSystem(cfg Config) *System {
 		CheckInvariants: cfg.CheckInvariants,
 		Audit:           cfg.Audit,
 		TraceLimit:      cfg.TraceLimit,
+		SpanLimit:       cfg.SpanLimit,
 		Seed:            seed,
 	})
 	s := &System{k: k}
@@ -400,6 +420,22 @@ func (s *System) Trace() *Tracer { return s.k.Tracer }
 
 // Audit returns the coherence auditor (nil unless Config.Audit was set).
 func (s *System) Audit() *Auditor { return s.k.Audit }
+
+// Spans returns the observability span collector: per-policy phase
+// histograms, lifecycle counters, and (with Config.SpanLimit) the retained
+// spans for export.
+func (s *System) Spans() *SpanCollector { return s.k.Spans }
+
+// WritePerfetto writes the system's retained spans as Chrome trace-event
+// JSON, loadable in ui.perfetto.dev. Config.SpanLimit must be set for any
+// spans to be retained.
+func (s *System) WritePerfetto(w io.Writer) error {
+	return obs.WritePerfetto(w, SpanGroup{
+		Label: s.k.Policy().Name(),
+		Pid:   1,
+		Spans: s.k.Spans.Retained(),
+	})
+}
 
 // DefaultCost returns the calibrated latency model for a machine.
 func DefaultCost(spec MachineSpec) CostModel { return cost.Default(spec) }
@@ -521,3 +557,38 @@ func Fig2Timeline(o ExperimentOptions) string { return experiments.Fig2Timeline(
 
 // Fig3Timeline renders the Fig 3 AutoNUMA timelines (Linux, then LATR).
 func Fig3Timeline(o ExperimentOptions) string { return experiments.Fig3Timeline(o) }
+
+// Fig2Perfetto renders the Fig 2 munmap scenario (Linux and LATR) as
+// Chrome trace-event JSON, loadable in ui.perfetto.dev.
+func Fig2Perfetto(o ExperimentOptions) (string, error) { return experiments.Fig2Perfetto(o) }
+
+// Fig3Perfetto renders the Fig 3 AutoNUMA scenario (Linux and LATR) as
+// Chrome trace-event JSON.
+func Fig3Perfetto(o ExperimentOptions) (string, error) { return experiments.Fig3Perfetto(o) }
+
+// Benchmark baseline comparison, re-exported for cmd/latr-bench and CI.
+type (
+	// BenchJSON is one experiment's archived machine-readable result.
+	BenchJSON = experiments.BenchJSON
+	// BenchTolerance bounds acceptable per-cell drift in a comparison.
+	BenchTolerance = experiments.Tolerance
+	// BenchCellDiff is one out-of-tolerance cell.
+	BenchCellDiff = experiments.CellDiff
+)
+
+// BenchJSONFromTable captures a finished experiment table for archival.
+func BenchJSONFromTable(t *ExperimentTable, o ExperimentOptions, wallSec float64) BenchJSON {
+	return experiments.BenchJSONFromTable(t, o, wallSec)
+}
+
+// LoadBenchJSON reads one BENCH_<id>.json baseline file.
+func LoadBenchJSON(path string) (BenchJSON, error) { return experiments.LoadBenchJSON(path) }
+
+// DefaultBenchTolerance returns the standard regression-gate tolerance.
+func DefaultBenchTolerance() BenchTolerance { return experiments.DefaultTolerance() }
+
+// CompareBench diffs a current run against a committed baseline; structural
+// mismatches are errors, out-of-tolerance cells come back as diffs.
+func CompareBench(baseline, current BenchJSON, tol BenchTolerance) ([]BenchCellDiff, error) {
+	return experiments.CompareBench(baseline, current, tol)
+}
