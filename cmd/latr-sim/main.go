@@ -29,6 +29,15 @@
 //
 //	latr-sim -remote -policy latr -duration 200ms
 //	latr-sim -remote -policy linux -machine 8x15 -remote-frames 2000
+//
+// Cluster mode runs the fault-tolerant multi-machine fleet: N simulated
+// machines behind a routing/admission/retry front-end, swept over
+// (policy × router × fault profile), one deterministic digest line per
+// cell (byte-identical at any -parallel):
+//
+//	latr-sim -cluster -duration 50ms
+//	latr-sim -cluster -policies latr -cluster-routers affinity -cluster-profiles flaky-fleet
+//	latr-sim -cluster -parallel 8 -seed 7
 package main
 
 import (
@@ -90,6 +99,13 @@ func main() {
 		remoteOn = flag.Bool("remote", false, "run the remote-memory paging case study (memcached over the RDMA backend) instead of a plain workload")
 		remoteFr = flag.Int64("remote-frames", 0, "remote: cap the remote node's frame pool (0 = unbounded)")
 
+		clusterOn   = flag.Bool("cluster", false, "run the fault-tolerant multi-machine cluster sweep (policy x router x fault profile) instead of a single-machine workload")
+		clusterN    = flag.Int("cluster-nodes", 0, "cluster: fleet size (0 = default 3)")
+		clusterRt   = flag.String("cluster-routers", "", "cluster: comma-separated routers (default: all of "+strings.Join(latr.ClusterRouters(), ", ")+")")
+		clusterProf = flag.String("cluster-profiles", "none,node-crash", "cluster: comma-separated fault profiles; one of none, "+strings.Join(latr.ClusterFaultProfiles(), ", "))
+		clusterMach = flag.String("cluster-machine", "", "cluster: per-node machine shape NxM (default: 2x4)")
+		clusterHdg  = flag.Duration("cluster-hedge", time.Millisecond, "cluster: hedge delay for a duplicate attempt (0 disables hedging)")
+
 		litmusOn   = flag.Bool("litmus", false, "run the litmus corpus through the differential oracle instead of a workload")
 		litmusGen  = flag.Int("litmus-gen", 0, "litmus: also run this many generated scenarios")
 		litmusSeed = flag.Uint64("litmus-seed", 1000, "litmus: first seed for generated scenarios")
@@ -118,6 +134,22 @@ func main() {
 			seed:     *seed,
 			parallel: *parallel,
 			verbose:  *verbose,
+		}))
+	}
+
+	if *clusterOn {
+		os.Exit(runCluster(clusterFlags{
+			policies: *policies,
+			routers:  *clusterRt,
+			profiles: *clusterProf,
+			nodes:    *clusterN,
+			machine:  *clusterMach,
+			duration: latr.Time(duration.Nanoseconds()),
+			hedge:    latr.Time(clusterHdg.Nanoseconds()),
+			seed:     *seed,
+			parallel: *parallel,
+			check:    *check,
+			dump:     false,
 		}))
 	}
 

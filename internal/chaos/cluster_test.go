@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestClusterProfilesSortedAndComplete(t *testing.T) {
+	names := ClusterProfiles()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ClusterProfiles() not sorted: %v", names)
+	}
+	if len(names) != len(clusterProfiles) {
+		t.Fatalf("ClusterProfiles() returned %d names, registry has %d", len(names), len(clusterProfiles))
+	}
+	for _, want := range []string{"node-crash", "slow-node", "partition", "queue-overflow", "flaky-fleet"} {
+		if _, err := ClusterProfileByName(want); err != nil {
+			t.Errorf("built-in profile %q not resolvable: %v", want, err)
+		}
+	}
+}
+
+func TestClusterProfileByNameZero(t *testing.T) {
+	for _, name := range []string{"", "none"} {
+		p, err := ClusterProfileByName(name)
+		if err != nil {
+			t.Fatalf("ClusterProfileByName(%q): %v", name, err)
+		}
+		if !p.Zero() {
+			t.Errorf("ClusterProfileByName(%q) = %+v, want zero profile", name, p)
+		}
+		if got := p.String(); got != "none" {
+			t.Errorf("zero profile String() = %q, want \"none\"", got)
+		}
+	}
+}
+
+func TestClusterProfileByNameUnknown(t *testing.T) {
+	_, err := ClusterProfileByName("meteor-strike")
+	if err == nil {
+		t.Fatal("ClusterProfileByName(\"meteor-strike\") succeeded")
+	}
+	if !strings.Contains(err.Error(), "meteor-strike") {
+		t.Errorf("error %q does not name the unknown profile", err)
+	}
+	for _, known := range ClusterProfiles() {
+		if !strings.Contains(err.Error(), known) {
+			t.Errorf("error %q does not list known profile %q", err, known)
+		}
+	}
+}
+
+func TestClusterProfilesNotZeroAndNamed(t *testing.T) {
+	for name, p := range clusterProfiles {
+		if p.Zero() {
+			t.Errorf("built-in profile %q injects nothing", name)
+		}
+		if p.Name != name {
+			t.Errorf("profile registered as %q has Name %q", name, p.Name)
+		}
+		if got := p.String(); got != name {
+			t.Errorf("profile %q String() = %q", name, got)
+		}
+	}
+}

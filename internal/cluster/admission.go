@@ -1,0 +1,43 @@
+package cluster
+
+import "latr/internal/sim"
+
+// tokenBucket is the front-end admission controller. Accounting is in
+// token-nanoseconds (one token = 1e9 units), refilled lazily from the
+// virtual clock with pure integer arithmetic, so admission decisions are
+// exact and byte-deterministic — no float drift, no remainder loss.
+type tokenBucket struct {
+	rate  int64 // tokens per second; <= 0 disables limiting
+	burst int64 // bucket depth in tokens
+	avail int64 // token-nanoseconds currently available
+	last  sim.Time
+}
+
+const tokenScale = int64(sim.Second)
+
+func newTokenBucket(rate, burst int64) *tokenBucket {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, avail: burst * tokenScale}
+}
+
+// allow takes one token if available, refilling for the elapsed virtual
+// time first. With no rate configured every request is admitted.
+func (b *tokenBucket) allow(now sim.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if now > b.last {
+		b.avail += int64(now-b.last) * b.rate
+		b.last = now
+		if max := b.burst * tokenScale; b.avail > max {
+			b.avail = max
+		}
+	}
+	if b.avail >= tokenScale {
+		b.avail -= tokenScale
+		return true
+	}
+	return false
+}

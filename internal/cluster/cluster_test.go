@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"testing"
+
+	"latr/internal/chaos"
+	"latr/internal/sim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.Duration = 20 * sim.Millisecond
+	cfg.Audit = true
+	return cfg
+}
+
+func profile(t *testing.T, name string) chaos.ClusterProfile {
+	t.Helper()
+	p, err := chaos.ClusterProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkIdentities asserts the request-count identities that make the
+// accounting trustworthy: every offered request is either rejected or
+// admitted, every admitted request resolves exactly once, the latency
+// histogram holds exactly the completed requests (a retried or hedged
+// request appears once, not once per attempt), and the per-class SLO
+// counters partition the offered stream.
+func checkIdentities(t *testing.T, cl *Cluster, r Result) {
+	t.Helper()
+	if r.Offered != r.Admitted+r.Rejected {
+		t.Errorf("offered %d != admitted %d + rejected %d", r.Offered, r.Admitted, r.Rejected)
+	}
+	if r.Admitted != r.Completed+r.Failed {
+		t.Errorf("admitted %d != completed %d + failed %d", r.Admitted, r.Completed, r.Failed)
+	}
+	if got := r.Latency.Count(); got != r.Completed {
+		t.Errorf("latency histogram holds %d samples, want completed %d", got, r.Completed)
+	}
+	met := cl.Metrics()
+	sloSum := met.Counter("cluster.hot.slo_met") + met.Counter("cluster.hot.slo_miss") +
+		met.Counter("cluster.cold.slo_met") + met.Counter("cluster.cold.slo_miss")
+	if sloSum != r.Offered {
+		t.Errorf("SLO class counters sum to %d, want offered %d", sloSum, r.Offered)
+	}
+	if rec := met.Counter("cluster.recovered"); rec > r.Completed {
+		t.Errorf("recovered %d exceeds completed %d", rec, r.Completed)
+	}
+}
+
+func TestFaultFreeRunCompletesEverything(t *testing.T) {
+	cl := New(testConfig())
+	r := cl.Run()
+	if r.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if r.Failed != 0 || r.Rejected != 0 {
+		t.Fatalf("fault-free underloaded run failed %d / rejected %d requests", r.Failed, r.Rejected)
+	}
+	if r.Attempts != r.Admitted {
+		t.Fatalf("fault-free run took %d attempts for %d requests", r.Attempts, r.Admitted)
+	}
+	if r.Violations != 0 {
+		t.Fatalf("%d coherence violations in a clean run", r.Violations)
+	}
+	checkIdentities(t, cl, r)
+}
+
+// TestRetriesNeverDoubleCount is the accounting acceptance test: under an
+// aggressive crash schedule many requests need several attempts, and the
+// throughput counters must still balance exactly — a retried request
+// completes once, appears in the latency histogram once, and never lands
+// in both Completed and Failed.
+func TestRetriesNeverDoubleCount(t *testing.T) {
+	cfg := testConfig()
+	cfg.Duration = 30 * sim.Millisecond
+	cfg.HedgeDelay = sim.Millisecond
+	cfg.Profile = chaos.ClusterProfile{
+		Name:         "crash-storm",
+		CrashMeanGap: 10 * sim.Millisecond,
+		CrashDownMin: 3 * sim.Millisecond,
+		CrashDownMax: 6 * sim.Millisecond,
+	}
+	cl := New(cfg)
+	r := cl.Run()
+	if r.Retries == 0 {
+		t.Fatal("crash storm produced no retries; the test is not exercising the pipeline")
+	}
+	if r.Refused == 0 {
+		t.Fatal("crash storm produced no refused attempts")
+	}
+	if r.Attempts <= r.Admitted {
+		t.Fatalf("attempts %d should exceed admitted %d under retries", r.Attempts, r.Admitted)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed under the crash storm")
+	}
+	if r.Violations != 0 {
+		t.Fatalf("%d coherence violations under node crashes", r.Violations)
+	}
+	checkIdentities(t, cl, r)
+}
+
+// TestNodeCrashProfile runs the registered node-crash profile with the
+// auditor on: the fleet degrades (refused/reset attempts, retries) but
+// stays coherent — zero auditor findings on every node.
+func TestNodeCrashProfile(t *testing.T) {
+	cfg := testConfig()
+	cfg.Duration = 40 * sim.Millisecond
+	cfg.Profile = profile(t, "node-crash")
+	cl := New(cfg)
+	r := cl.Run()
+	if got := cl.Metrics().Counter("cluster.faults.crash"); got == 0 {
+		t.Fatal("node-crash profile injected no crashes in 40ms")
+	}
+	if r.Violations != 0 {
+		t.Fatalf("%d coherence violations under node-crash", r.Violations)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed under node-crash")
+	}
+	checkIdentities(t, cl, r)
+}
+
+// TestAdmissionControlRejects: a token bucket refilling far below the
+// offered load sheds most requests at the front door, and rejected
+// requests still balance the books.
+func TestAdmissionControlRejects(t *testing.T) {
+	cfg := testConfig()
+	cfg.RateLimit = 20000
+	cfg.Burst = 16
+	cl := New(cfg)
+	r := cl.Run()
+	if r.Rejected == 0 {
+		t.Fatal("rate limit at 20k/s rejected nothing against 150k/s offered")
+	}
+	if r.Admitted == 0 {
+		t.Fatal("rate limit admitted nothing")
+	}
+	// Admitted load must track the refill rate, not the offered rate.
+	admittedPerSec := float64(r.Admitted) / cfg.Duration.Seconds()
+	if admittedPerSec > 1.5*float64(cfg.RateLimit) {
+		t.Fatalf("admitted %.0f/s against a %d/s bucket", admittedPerSec, cfg.RateLimit)
+	}
+	checkIdentities(t, cl, r)
+}
+
+// TestQueueOverflowSheds: one worker per node against an overload means
+// node queues hit the profile's tiny depth and shed; shed attempts feed
+// retries and the identities still hold.
+func TestQueueOverflowSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.WorkersPerNode = 1
+	cfg.ArrivalRate = 400000
+	cfg.Duration = 10 * sim.Millisecond
+	cfg.Profile = profile(t, "queue-overflow")
+	cl := New(cfg)
+	r := cl.Run()
+	if r.Shed == 0 {
+		t.Fatal("overloaded 4-deep queues shed nothing")
+	}
+	checkIdentities(t, cl, r)
+}
+
+// TestHedgingCompletesOnce: with a hedge delay inside the latency
+// distribution's tail, hedges fire — and hedged requests still complete
+// exactly once (first reply wins, the sibling is wasted work).
+func TestHedgingCompletesOnce(t *testing.T) {
+	cfg := testConfig()
+	cfg.HedgeDelay = 30 * sim.Microsecond
+	cl := New(cfg)
+	r := cl.Run()
+	if r.Hedges == 0 {
+		t.Fatal("no hedges fired with a 30µs hedge delay")
+	}
+	if r.Failed != 0 {
+		t.Fatalf("hedging made %d requests fail", r.Failed)
+	}
+	met := cl.Metrics()
+	if met.Counter("cluster.hedge_wasted")+met.Counter("cluster.late_replies") == 0 {
+		t.Fatal("hedges fired but no sibling was ever wasted; dedup path untested")
+	}
+	checkIdentities(t, cl, r)
+}
+
+// TestDeterministicDigest: the whole cluster — kernels, faults, router,
+// retries — is a pure function of the seed.
+func TestDeterministicDigest(t *testing.T) {
+	run := func(seed uint64, prof string) uint64 {
+		cfg := testConfig()
+		cfg.Seed = seed
+		cfg.HedgeDelay = sim.Millisecond
+		cfg.Profile = profile(t, prof)
+		return New(cfg).Run().Digest
+	}
+	if a, b := run(11, "node-crash"), run(11, "node-crash"); a != b {
+		t.Fatalf("identical seeded runs diverge: %016x vs %016x", a, b)
+	}
+	if a, b := run(11, "flaky-fleet"), run(11, "flaky-fleet"); a != b {
+		t.Fatalf("identical flaky-fleet runs diverge: %016x vs %016x", a, b)
+	}
+	if a, b := run(11, "node-crash"), run(12, "node-crash"); a == b {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	cl := New(testConfig())
+	cl.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	cl.Run()
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import "latr/internal/sim"
+
+// Fault injection: the cluster fault family from chaos.ClusterProfile,
+// driven by the cluster's dedicated fault RNG in event order. Fault
+// schedules start when traffic opens (a fleet that crashes during
+// warm-up tests the loader, not the robustness pipeline) and each class
+// reschedules itself from the end of its window, so per-node fault
+// histories are independent renewal processes.
+
+func (c *Cluster) startFaults() {
+	p := c.cfg.Profile
+	for _, n := range c.nodes {
+		if p.CrashMeanGap > 0 {
+			c.scheduleCrash(n)
+		}
+		if p.SlowMeanGap > 0 {
+			c.scheduleSlow(n)
+		}
+		if p.PartitionMeanGap > 0 {
+			c.schedulePartition(n)
+		}
+	}
+}
+
+func (c *Cluster) scheduleCrash(n *node) {
+	c.eng.After(c.frng.Exp(c.cfg.Profile.CrashMeanGap), func(now sim.Time) {
+		if n.crashed {
+			c.scheduleCrash(n)
+			return
+		}
+		c.crashNode(n, now)
+	})
+}
+
+// crashNode kills node n: connection epoch bumps (in-service attempts
+// become orphans), every queued attempt sees a connection reset, and the
+// remote-memory frame pool fails over to disk copies. The node refuses
+// connections until it restarts after the profile's downtime, then
+// reports Recovering for recoveryWindow.
+func (c *Cluster) crashNode(n *node, now sim.Time) {
+	p := c.cfg.Profile
+	n.crashed = true
+	n.epoch++
+	c.met.Inc("cluster.faults.crash", 1)
+	n.k.Metrics.Inc("cluster.crash", 1)
+	n.backend.Crash()
+	q := n.queue
+	n.queue = nil
+	for _, at := range q {
+		at := at
+		c.eng.After(netDelay, func(now sim.Time) { c.attemptFailed(at, "reset", now) })
+	}
+	n.noteHealth(now)
+	down := c.frng.Duration(p.CrashDownMin, p.CrashDownMax)
+	c.eng.After(down, func(now sim.Time) {
+		n.crashed = false
+		n.recoverUntil = now + recoveryWindow
+		n.k.Metrics.Inc("cluster.restart", 1)
+		n.noteHealth(now)
+		c.eng.After(recoveryWindow, func(now sim.Time) { n.noteHealth(now) })
+		c.scheduleCrash(n)
+	})
+}
+
+func (c *Cluster) scheduleSlow(n *node) {
+	p := c.cfg.Profile
+	c.eng.After(c.frng.Exp(p.SlowMeanGap), func(now sim.Time) {
+		dur := c.frng.Duration(p.SlowMin, p.SlowMax)
+		n.slowUntil = now + dur
+		n.slowFactor = p.SlowFactorPct
+		c.met.Inc("cluster.faults.slow", 1)
+		n.noteHealth(now)
+		c.eng.After(dur, func(now sim.Time) {
+			n.noteHealth(now)
+			c.scheduleSlow(n)
+		})
+	})
+}
+
+// schedulePartition opens silent drop windows: requests and replies
+// crossing the wire while the window is open vanish. No health note —
+// the front-end cannot see a partition directly; it learns through
+// consecutive timeouts (suspicion) and relearns through probes.
+func (c *Cluster) schedulePartition(n *node) {
+	p := c.cfg.Profile
+	c.eng.After(c.frng.Exp(p.PartitionMeanGap), func(now sim.Time) {
+		dur := c.frng.Duration(p.PartitionMin, p.PartitionMax)
+		n.partUntil = now + dur
+		c.met.Inc("cluster.faults.partition", 1)
+		c.eng.After(dur, func(sim.Time) { c.schedulePartition(n) })
+	})
+}
+
+// suspect marks a node Down after suspectAfter consecutive attempt
+// timeouts and starts the probe loop that will eventually clear it.
+func (c *Cluster) suspect(n *node, now sim.Time) {
+	if n.suspected {
+		return
+	}
+	n.suspected = true
+	c.met.Inc("cluster.suspected", 1)
+	n.noteHealth(now)
+	c.probe(n)
+}
+
+// probe pings a suspected node every probePeriod; the first ping that
+// gets through (no crash, no open partition window) clears suspicion and
+// puts the node through Recovering before it rejoins rotation fully.
+func (c *Cluster) probe(n *node) {
+	c.eng.After(probePeriod, func(now sim.Time) {
+		c.met.Inc("cluster.probes", 1)
+		if n.crashed || now < n.partUntil {
+			c.probe(n)
+			return
+		}
+		c.eng.After(2*netDelay, func(now sim.Time) {
+			n.suspected = false
+			n.consecTimeouts = 0
+			n.recoverUntil = now + recoveryWindow
+			n.noteHealth(now)
+			c.eng.After(recoveryWindow, func(now sim.Time) { n.noteHealth(now) })
+		})
+	})
+}

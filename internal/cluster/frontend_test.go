@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+
+	"latr/internal/sim"
+)
+
+// newFleet builds an unrun 3-node cluster for poking at routers and
+// health directly; nothing is simulated, state is set by hand.
+func newFleet(t *testing.T, routerName string) *Cluster {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Router = routerName
+	return New(cfg)
+}
+
+func TestTokenBucketExactRefill(t *testing.T) {
+	b := newTokenBucket(1000, 10) // 1000/s, depth 10, starts full
+	for i := 0; i < 10; i++ {
+		if !b.allow(0) {
+			t.Fatalf("full bucket denied token %d", i)
+		}
+	}
+	if b.allow(0) {
+		t.Fatal("empty bucket granted an 11th token at the same instant")
+	}
+	// 1000 tokens/s refills exactly one token per millisecond.
+	if !b.allow(sim.Millisecond) {
+		t.Fatal("one refilled token denied after 1ms")
+	}
+	if b.allow(sim.Millisecond) {
+		t.Fatal("second token granted from a single-token refill")
+	}
+	// Half a millisecond buys half a token: not enough.
+	if b.allow(sim.Millisecond + 500*sim.Microsecond) {
+		t.Fatal("half a token admitted a request")
+	}
+	// The other half arrives; the accumulated fraction must not be lost.
+	if !b.allow(2 * sim.Millisecond) {
+		t.Fatal("integer refill lost the fractional remainder")
+	}
+	// Idle time caps at the burst, never beyond.
+	bb := newTokenBucket(1000, 4)
+	for i := 0; i < 4; i++ {
+		bb.allow(0)
+	}
+	for i := 0; i < 4; i++ {
+		if !bb.allow(sim.Second) {
+			t.Fatalf("burst refill missing token %d", i)
+		}
+	}
+	if bb.allow(sim.Second) {
+		t.Fatal("bucket exceeded its burst after a long idle gap")
+	}
+	// Zero rate disables limiting entirely.
+	unlimited := newTokenBucket(0, 1)
+	for i := 0; i < 100; i++ {
+		if !unlimited.allow(0) {
+			t.Fatal("unlimited bucket denied a request")
+		}
+	}
+}
+
+func TestRoundRobinCyclesAndSkipsDown(t *testing.T) {
+	c := newFleet(t, "round-robin")
+	got := []int{}
+	for i := 0; i < 6; i++ {
+		got = append(got, c.router.Pick(0, 0, -1))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin sequence %v, want %v", got, want)
+		}
+	}
+	c.nodes[1].crashed = true
+	got = got[:0]
+	for i := 0; i < 4; i++ {
+		got = append(got, c.router.Pick(0, 0, -1))
+	}
+	for _, n := range got {
+		if n == 1 {
+			t.Fatalf("round-robin routed to a crashed node: %v", got)
+		}
+	}
+}
+
+func TestRoutersAvoidExcludedNode(t *testing.T) {
+	for _, name := range RouterNames() {
+		c := newFleet(t, name)
+		for trial := 0; trial < 8; trial++ {
+			if got := c.router.Pick(0, trial, 2); got == 2 {
+				t.Fatalf("%s routed a retry back to the excluded node", name)
+			}
+		}
+		// The excluded node is still better than nothing: with every other
+		// node down it must be picked rather than returning -1.
+		c.nodes[0].crashed = true
+		c.nodes[1].crashed = true
+		if got := c.router.Pick(0, 0, 2); got != 2 {
+			t.Fatalf("%s returned %d with only the excluded node up", name, got)
+		}
+		// And with the whole fleet down there is nobody to pick.
+		c.nodes[2].crashed = true
+		if got := c.router.Pick(0, 0, -1); got != -1 {
+			t.Fatalf("%s picked %d from an all-down fleet", name, got)
+		}
+	}
+}
+
+func TestLeastLoadedPicksShortestQueue(t *testing.T) {
+	c := newFleet(t, "least-loaded")
+	c.nodes[0].inflight = 5
+	c.nodes[1].inflight = 1
+	c.nodes[2].inflight = 3
+	if got := c.router.Pick(0, 0, -1); got != 1 {
+		t.Fatalf("least-loaded picked %d, want 1", got)
+	}
+	// Ties break to the lowest id, keeping the pick deterministic.
+	c.nodes[1].inflight = 3
+	c.nodes[0].inflight = 3
+	if got := c.router.Pick(0, 0, -1); got != 0 {
+		t.Fatalf("least-loaded tie-break picked %d, want 0", got)
+	}
+}
+
+func TestAffinityHomesKeysAndSpills(t *testing.T) {
+	c := newFleet(t, "affinity")
+	for key := 0; key < 9; key++ {
+		if got := c.router.Pick(0, key, -1); got != key%3 {
+			t.Fatalf("key %d routed to %d, want home %d", key, got, key%3)
+		}
+	}
+	// A down home spills to the next node, consistent-hashing style.
+	c.nodes[1].crashed = true
+	if got := c.router.Pick(0, 4, -1); got != 2 {
+		t.Fatalf("key 4 with home 1 down routed to %d, want 2", got)
+	}
+}
+
+func TestHealthPrecedenceAndTransitions(t *testing.T) {
+	c := newFleet(t, "round-robin")
+	n := c.nodes[0]
+	now := sim.Time(0)
+	if h := n.health(now); h != Healthy {
+		t.Fatalf("fresh node health %v", h)
+	}
+	n.slowUntil = now + sim.Millisecond
+	if h := n.health(now); h != Degraded {
+		t.Fatalf("slow window health %v, want Degraded", h)
+	}
+	// Crash outranks the open slow window.
+	n.crashed = true
+	if h := n.health(now); h != Down {
+		t.Fatalf("crashed health %v, want Down", h)
+	}
+	// Restart passes through Recovering even with the slow window open.
+	n.crashed = false
+	n.recoverUntil = now + sim.Millisecond
+	if h := n.health(now); h != Recovering {
+		t.Fatalf("restarted health %v, want Recovering", h)
+	}
+	// Suspicion alone is Down, and clearing it exposes Recovering.
+	n.suspected = true
+	if h := n.health(now); h != Down {
+		t.Fatalf("suspected health %v, want Down", h)
+	}
+	n.suspected = false
+	// Windows expire in precedence order as time passes.
+	if h := n.health(now + 2*sim.Millisecond); h != Healthy {
+		t.Fatalf("health %v after every window expired, want Healthy", h)
+	}
+
+	// noteHealth counts only edges, not repeated reads.
+	base := c.met.Counter("cluster.health.down")
+	n.crashed = true
+	n.noteHealth(now)
+	n.noteHealth(now)
+	if got := c.met.Counter("cluster.health.down") - base; got != 1 {
+		t.Fatalf("down edges counted %d, want 1", got)
+	}
+}
+
+func TestHealthStrings(t *testing.T) {
+	want := map[Health]string{Healthy: "healthy", Degraded: "degraded", Down: "down", Recovering: "recovering"}
+	for h, s := range want {
+		if h.String() != s {
+			t.Fatalf("Health(%d).String() = %q, want %q", h, h.String(), s)
+		}
+	}
+	if Health(200).String() != "unknown" {
+		t.Fatal("out-of-range health must stringify as unknown")
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import "latr/internal/sim"
+
+// Health is the front-end's view of one node, the state machine the
+// routing layer consults:
+//
+//	healthy → degraded   (slow-node window opens)
+//	healthy → down       (crash, or partition suspected after timeouts)
+//	down    → recovering (restart / probe got through)
+//	recovering → healthy (recovery window elapses)
+//
+// The state is *derived* from the node's condition flags at read time
+// rather than stored and transitioned — precedence Down > Recovering >
+// Degraded — which makes illegal transitions unrepresentable: a node
+// that crashes while degraded is simply Down, and goes back through
+// Recovering regardless of how many fault windows overlapped.
+type Health uint8
+
+// Health states; see the Health doc comment for the transition graph.
+const (
+	Healthy Health = iota
+	Degraded
+	Down
+	Recovering
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	case Recovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// health derives the node's current state. Crash and suspicion are hard
+// Down; a fresh restart (or cleared suspicion) reports Recovering for
+// recoveryWindow; an open slow window reports Degraded. Partition windows
+// are deliberately absent: the front-end cannot see a silent partition,
+// it only learns via timeouts feeding the suspicion counter.
+func (n *node) health(now sim.Time) Health {
+	switch {
+	case n.crashed || n.suspected:
+		return Down
+	case now < n.recoverUntil:
+		return Recovering
+	case now < n.slowUntil:
+		return Degraded
+	}
+	return Healthy
+}
+
+// noteHealth re-derives the node's state and records the transition when
+// it changed, so the metrics expose the state machine's edge counts
+// (cluster.health.<state>) and the trace shows when routing's view moved.
+func (n *node) noteHealth(now sim.Time) {
+	h := n.health(now)
+	if h == n.lastHealth {
+		return
+	}
+	n.lastHealth = h
+	c := n.cl
+	c.met.Inc("cluster.health."+h.String(), 1)
+	if c.tracer != nil {
+		if !c.tracer.Record(now, frontLane, "health", "node %d -> %s", n.id, h) {
+			c.met.Inc("trace.dropped", 1)
+		}
+	}
+}

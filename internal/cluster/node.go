@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"latr/internal/cost"
+	"latr/internal/kernel"
+	"latr/internal/pt"
+	"latr/internal/remote"
+	"latr/internal/sim"
+	"latr/internal/swap"
+	"latr/internal/topo"
+	"latr/internal/workload"
+)
+
+// Span/trace lanes: the front-end is lane 0, node i is lane 1+i, so a
+// Perfetto export of request spans shows arrivals on one track and each
+// node's attempts on its own.
+const frontLane topo.CoreID = 0
+
+func nodeLane(i int) topo.CoreID { return topo.CoreID(1 + i) }
+
+// node is one simulated machine: a full kernel (cores, TLBs, coherence
+// policy) with a swapper paging to a remote-memory backend, serving a
+// memcached-shaped KV arena through a pull queue of worker threads.
+//
+// A crash is modelled as crash-with-fast-restart: the connection state
+// dies — the queue resets, in-service attempts become orphans via the
+// epoch counter, the remote frame pool fails over to disk — while the
+// kernel object itself keeps ticking, standing in for the rebooted
+// instance that remounts the same arena. The front-end sees exactly what
+// it would over a real wire: resets, then refused connections, then a
+// recovered node whose cold keys got colder.
+type node struct {
+	id      int
+	cl      *Cluster
+	k       *kernel.Kernel
+	backend *remote.Backend
+	swapper *swap.Swapper
+	proc    *kernel.Process
+	gate    *workload.Gate
+	arena   pt.VPN
+	loaded  bool
+
+	// Pull queue: enqueue wakes one idle worker; workers block when empty.
+	queue    []*attempt
+	idle     []*kernel.Thread
+	inflight int // attempts dequeued and in service
+
+	// Fault condition flags; health() derives the routing view from them.
+	epoch          uint64 // bumped per crash; stale-epoch completions are orphans
+	crashed        bool
+	slowUntil      sim.Time
+	slowFactor     int // percent, active while now < slowUntil
+	partUntil      sim.Time
+	recoverUntil   sim.Time
+	suspected      bool
+	consecTimeouts int
+	lastHealth     Health
+}
+
+// newNode builds node id on the cluster's shared engine and spawns its
+// loader and worker threads. Nothing runs until Cluster.Run drives the
+// engine.
+func newNode(c *Cluster, id int) *node {
+	cfg := c.cfg
+	spec, err := machineByName(cfg.Machine)
+	if err != nil {
+		panic(err)
+	}
+	spec.MemPerNodeBytes = cfg.MemFramesPerNode * 4096
+	pol, err := newPolicy(cfg.Policy)
+	if err != nil {
+		panic(err)
+	}
+	k := kernel.New(spec, cost.Default(spec), pol, kernel.Options{
+		Seed:            cfg.Seed ^ (uint64(id+1) * 0x9e3779b97f4a7c15),
+		Engine:          c.eng,
+		Audit:           cfg.Audit,
+		CheckInvariants: cfg.CheckInvariants,
+	})
+	n := &node{id: id, cl: c, k: k, lastHealth: Healthy}
+
+	// Watermarks scale with the shrunken per-node memory so the swapper
+	// keeps pressure on while the hot set stays resident.
+	n.backend = remote.New(remote.Config{})
+	n.swapper = swap.NewWithBackend(swap.Config{
+		LowWatermarkFrames:  cfg.MemFramesPerNode / 5,
+		HighWatermarkFrames: cfg.MemFramesPerNode / 3,
+		ScanPeriod:          sim.Millisecond,
+		BatchPages:          256,
+	}, n.backend)
+	n.swapper.Install(k)
+
+	n.gate = workload.NewGate(k)
+	n.proc = k.NewProcess()
+	cores := workerCores(spec, cfg.WorkersPerNode)
+	n.setupLoader(cores[0])
+	for _, core := range cores {
+		n.spawnWorker(core)
+	}
+	n.swapper.Register(n.proc)
+	return n
+}
+
+// workerCores picks n worker cores round-robin across NUMA nodes,
+// skipping core 0 (the swapper's).
+func workerCores(spec topo.Spec, n int) []topo.CoreID {
+	var out []topo.CoreID
+	for i := 0; len(out) < n; i++ {
+		nodeID := i % spec.NumNodes()
+		idx := i / spec.NumNodes()
+		cores := spec.CoresOnNode(topo.NodeID(nodeID))
+		if idx >= len(cores) {
+			panic("cluster: machine too small for WorkersPerNode")
+		}
+		c := cores[idx]
+		if c == 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// setupLoader spawns the warm-up thread: map the arena, touch it end to
+// end (pushing memory past the watermark like a KV server reaching its
+// configured cache size), then open the gate for the workers.
+func (n *node) setupLoader(core topo.CoreID) {
+	cfg := n.cl.cfg
+	total := cfg.Keys * cfg.ValuePages
+	warmed := 0
+	const warmChunk = 128
+	step := 0
+	n.proc.Spawn(core, kernel.Loop(func(th *kernel.Thread) kernel.Op {
+		switch step {
+		case 0:
+			step = 1
+			return kernel.OpMmap{Pages: total, Writable: true, Populate: false, Node: -1}
+		case 1:
+			n.arena = th.LastAddr
+			step = 2
+			fallthrough
+		case 2:
+			if warmed < total {
+				chunk := total - warmed
+				if chunk > warmChunk {
+					chunk = warmChunk
+				}
+				op := kernel.OpTouchRange{Start: n.arena + pt.VPN(warmed), Pages: chunk, Write: true}
+				warmed += chunk
+				return op
+			}
+			n.loaded = true
+			n.gate.Open()
+			step = 3
+			fallthrough
+		default:
+			return nil
+		}
+	}))
+}
+
+// spawnWorker starts one server thread: dequeue (or block), think, touch
+// the value pages — hot keys TLB-hit, cold keys major-fault through the
+// swap/remote path — think again, reply. Service time stretches by the
+// slow-node factor while a slow window is open.
+func (n *node) spawnWorker(core topo.CoreID) {
+	cl := n.cl
+	const (
+		stepGate = iota
+		stepDequeue
+		stepThink1
+		stepTouch
+		stepThink2
+		stepReply
+	)
+	step := stepGate
+	var cur *attempt
+	n.proc.Spawn(core, kernel.Loop(func(th *kernel.Thread) kernel.Op {
+		switch step {
+		case stepGate:
+			step = stepDequeue
+			return n.gate.Wait()
+		case stepDequeue:
+			return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+				if len(n.queue) > 0 {
+					cur = n.queue[0]
+					n.queue = n.queue[1:]
+					n.inflight++
+					step = stepThink1
+					done()
+					return
+				}
+				n.idle = append(n.idle, th)
+				c.Block(th, done)
+			}}
+		case stepThink1:
+			step = stepTouch
+			return kernel.OpCompute{D: n.scale(cl.cfg.Think / 2)}
+		case stepTouch:
+			step = stepThink2
+			return kernel.OpTouchRange{
+				Start: n.arena + pt.VPN(cur.req.key*cl.cfg.ValuePages),
+				Pages: cl.cfg.ValuePages,
+				Write: cur.req.write,
+			}
+		case stepThink2:
+			step = stepReply
+			return kernel.OpCompute{D: n.scale(cl.cfg.Think - cl.cfg.Think/2)}
+		case stepReply:
+			step = stepDequeue
+			at := cur
+			cur = nil
+			return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+				n.finish(at, c.Kernel().Now())
+				done()
+			}}
+		}
+		panic("cluster: worker in impossible step")
+	}))
+}
+
+// scale stretches a service-time slice by the active slow-node factor.
+func (n *node) scale(d sim.Time) sim.Time {
+	if n.k.Now() < n.slowUntil && n.slowFactor > 100 {
+		return d * sim.Time(n.slowFactor) / 100
+	}
+	return d
+}
+
+// enqueue admits one attempt to the node's queue, waking an idle worker.
+// It reports false when the queue is at the shed bound.
+func (n *node) enqueue(at *attempt) bool {
+	if len(n.queue) >= n.cl.queueDepth {
+		return false
+	}
+	n.queue = append(n.queue, at)
+	if len(n.idle) > 0 {
+		th := n.idle[0]
+		n.idle = n.idle[1:]
+		n.k.Wake(th)
+	}
+	return true
+}
+
+// finish is the node-side end of one serviced attempt: suppress the reply
+// if the connection epoch died (crash) or the partition eats it,
+// otherwise deliver it to the front-end after the wire delay.
+func (n *node) finish(at *attempt, now sim.Time) {
+	n.inflight--
+	n.k.Metrics.Inc("cluster.served", 1)
+	cl := n.cl
+	if at.epoch != n.epoch {
+		cl.met.Inc("cluster.orphans", 1)
+		return
+	}
+	if now < n.partUntil {
+		cl.met.Inc("cluster.part_dropped", 1)
+		return
+	}
+	cl.eng.After(netDelay, func(now sim.Time) { cl.attemptDone(at, now) })
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import "latr/internal/sim"
+
+// router picks the node for one attempt. exclude is the node of the
+// attempt that just failed (-1 for a first try): routers avoid it when
+// any other node is available, so a retry never hammers the machine that
+// just refused, shed or timed out — unless it is the only one left.
+type router interface {
+	Name() string
+	Pick(now sim.Time, key int, exclude int) int
+}
+
+// RouterNames lists the available routing policies.
+func RouterNames() []string { return []string{"round-robin", "least-loaded", "affinity"} }
+
+func knownRouter(name string) bool {
+	for _, n := range RouterNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// newRouter builds the named router over c's fleet. The name is validated
+// by Config.Validate, so an unknown one here is a programming error.
+func newRouter(name string, c *Cluster) router {
+	switch name {
+	case "round-robin":
+		return &roundRobin{c: c}
+	case "least-loaded":
+		return &leastLoaded{c: c}
+	case "affinity":
+		return &affinity{c: c}
+	}
+	panic("cluster: unknown router " + name)
+}
+
+// usable reports whether node i accepts traffic: anything not Down.
+// Degraded and Recovering nodes stay in rotation — the robustness
+// pipeline, not the router, pays for their slowness.
+func usable(c *Cluster, i int, now sim.Time) bool {
+	return c.nodes[i].health(now) != Down
+}
+
+// pickFrom scans n candidate offsets via idx(j) and returns the first
+// usable node, preferring any over the excluded one: the excluded node is
+// remembered as a fallback and returned only when nothing else is up.
+func pickFrom(c *Cluster, now sim.Time, exclude int, n int, idx func(int) int) int {
+	fallback := -1
+	for j := 0; j < n; j++ {
+		i := idx(j)
+		if !usable(c, i, now) {
+			continue
+		}
+		if i == exclude {
+			fallback = i
+			continue
+		}
+		return i
+	}
+	return fallback
+}
+
+// roundRobin cycles through the fleet, skipping Down nodes.
+type roundRobin struct {
+	c    *Cluster
+	next int
+}
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Pick(now sim.Time, key, exclude int) int {
+	n := len(r.c.nodes)
+	start := r.next
+	picked := pickFrom(r.c, now, exclude, n, func(j int) int { return (start + j) % n })
+	if picked >= 0 {
+		r.next = (picked + 1) % n
+	}
+	return picked
+}
+
+// leastLoaded picks the usable node with the fewest queued plus in-service
+// attempts; ties go to the lowest id. This is the router that reacts to
+// Degraded nodes without being told: a slow node's queue grows and traffic
+// drains away from it.
+type leastLoaded struct{ c *Cluster }
+
+func (r *leastLoaded) Name() string { return "least-loaded" }
+
+func (r *leastLoaded) Pick(now sim.Time, key, exclude int) int {
+	best, bestLoad := -1, 0
+	fallback := -1
+	for i, n := range r.c.nodes {
+		if !usable(r.c, i, now) {
+			continue
+		}
+		if i == exclude {
+			fallback = i
+			continue
+		}
+		load := len(n.queue) + n.inflight
+		if best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		return fallback
+	}
+	return best
+}
+
+// affinity maps each key to a home node (key mod N) so every node serves
+// a shard of the keyspace. Under paging pressure this is the interesting
+// router: each node's active set shrinks to its shard, so cold-key major
+// faults — and with them the per-node shootdown traffic — drop. When the
+// home node is down the key spills to the next usable node, which warms
+// the spilled keys there (the usual consistent-hashing failover cost).
+type affinity struct{ c *Cluster }
+
+func (r *affinity) Name() string { return "affinity" }
+
+func (r *affinity) Pick(now sim.Time, key, exclude int) int {
+	n := len(r.c.nodes)
+	home := key % n
+	return pickFrom(r.c, now, exclude, n, func(j int) int { return (home + j) % n })
+}

@@ -303,6 +303,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return AblationPCIDAndTickless(o), nil
 	case "abl-thp":
 		return AblationTHP(o), nil
+	case "cluster":
+		return Cluster(o), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -322,6 +324,6 @@ func PaperIDs() []string {
 func IDs() []string {
 	return append(PaperIDs(),
 		"abl-depth", "abl-sweep", "abl-delay", "abl-transport", "abl-variants",
-		"abl-thp",
+		"abl-thp", "cluster",
 	)
 }

@@ -45,6 +45,12 @@ type Options struct {
 	SpanLimit int
 	// Seed feeds all kernel-side randomness.
 	Seed uint64
+	// Engine, when non-nil, is the event engine the kernel schedules on
+	// instead of a private one. The cluster layer uses this to run N
+	// simulated machines on one shared clock: every kernel's events
+	// interleave deterministically on the same queue. All kernels sharing
+	// an engine must be built before any of them runs.
+	Engine *sim.Engine
 }
 
 // Kernel assembles the whole machine.
@@ -83,10 +89,14 @@ func New(spec topo.Spec, model cost.Model, pol Policy, opts Options) *Kernel {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	k := &Kernel{
 		Spec:     spec,
 		Cost:     model,
-		Engine:   sim.NewEngine(),
+		Engine:   eng,
 		Alloc:    mem.NewAllocator(spec),
 		Metrics:  metrics.NewRegistry(),
 		Rand:     sim.NewRand(opts.Seed ^ 0x1a7b2c3d4e5f6071),

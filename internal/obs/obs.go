@@ -47,6 +47,7 @@ const (
 	KindNUMA                // AutoNUMA page migration unmap
 	KindSwap                // swap-out eviction of one victim page
 	KindExit                // exit_mmap address-space teardown
+	KindRequest             // one cluster front-end request (routing + attempts)
 	numKinds
 )
 
@@ -64,6 +65,8 @@ func (k Kind) String() string {
 		return "swapout"
 	case KindExit:
 		return "exit"
+	case KindRequest:
+		return "request"
 	}
 	return "unknown"
 }
@@ -325,6 +328,31 @@ func (c *Collector) emit(s *Span, p Phase, core topo.CoreID, begin, dur sim.Time
 	}
 	addr := s.Start.Addr()
 	var ok bool
+	if s.Kind == KindRequest {
+		// Cluster request lifecycle: Start carries the request key, core is
+		// the front-end (0) or node (1+id) lane. The lazy bit marks the
+		// attempt as a hedge/retry rather than a LATR deferred path.
+		switch p {
+		case PhaseInitiate:
+			ok = c.tr.Record(begin, core, "request", "arrive key=%d", int(s.Start))
+		case PhaseSend:
+			if lazy {
+				ok = c.tr.Record(begin, core, "request", "hedge/retry dispatch key=%d", int(s.Start))
+			} else {
+				ok = c.tr.Record(begin, core, "request", "dispatch key=%d", int(s.Start))
+			}
+		case PhaseInvalidate:
+			ok = c.tr.Record(begin, core, "request", "attempt failed key=%d", int(s.Start))
+		case PhaseAck:
+			ok = c.tr.Record(begin+dur, core, "request", "completed key=%d (wait %v)", int(s.Start), dur)
+		default:
+			ok = c.tr.Record(begin, core, "request", "gave up key=%d", int(s.Start))
+		}
+		if !ok {
+			c.met.Inc("trace.dropped", 1)
+		}
+		return
+	}
 	switch p {
 	case PhaseInitiate:
 		switch s.Kind {

@@ -255,6 +255,32 @@ func (b *Backend) Drop(mm *kernel.MM, vpn pt.VPN) {
 	b.k.Metrics.Inc("remote.dropped", 1)
 }
 
+// Crash models the memory server dying: the frame pool is lost and every
+// page whose only fast copy lived there fails over to its disk backup
+// (Infiniswap keeps an asynchronous disk copy precisely for this).
+// In-flight writes are not interrupted — their completion events fire at
+// the already-scheduled times and release any chained loads — but the
+// bytes land on a dead node, so the stored location flips to disk and
+// later reads pay disk-class latency. No frame is leaked: the pool gauge
+// drops to zero here and reads of failed-over pages see onDisk, so they
+// never decrement it again.
+func (b *Backend) Crash() {
+	k := b.k
+	moved := uint64(0)
+	for key, loc := range b.stored {
+		if loc == onRemote {
+			b.stored[key] = onDisk
+			moved++
+		}
+	}
+	k.Metrics.Inc("remote.crashes", 1)
+	k.Metrics.Inc("remote.crash_failover", moved)
+	k.Metrics.GaugeAdd("remote.frames", -b.framesInUse)
+	b.framesInUse = 0
+	// The replacement server starts with an idle DMA engine.
+	b.remoteFree = 0
+}
+
 // FramesInUse reports the remote pool occupancy (for tests).
 func (b *Backend) FramesInUse() int64 { return b.framesInUse }
 

@@ -229,3 +229,106 @@ func TestValidateRejectsNegativePool(t *testing.T) {
 	}()
 	New(Config{RemoteFrames: -1})
 }
+
+// TestCrashFailsOverToDisk is the chaos regression test for node death:
+// the memory server dies with pages resident and a write still in
+// flight. Every remote copy must fail over to its disk backup — loads
+// after the crash complete at disk-class latency, the in-flight write's
+// chained load drains cleanly, and no frame is leaked (the pool reads
+// zero and never goes negative).
+func TestCrashFailsOverToDisk(t *testing.T) {
+	k, b := testKernel(Config{})
+	m := cost.Default(topo.Custom(2, 2))
+	var remoteLoad, diskLoad, chainedLoad sim.Time
+	storeDone := false
+	drive(k, 0, func(c *kernel.Core, th *kernel.Thread, done func()) {
+		mm, _ := key(k, 0)
+		b.Store(c, mm, 1, func() {
+			b.Store(c, mm, 2, func() {
+				// Baseline: a remote-resident load before any crash.
+				t0 := k.Now()
+				b.Load(c, mm, 1, func() {
+					remoteLoad = k.Now() - t0
+					// Page 3's write is on the wire when the server dies.
+					b.Store(c, mm, 3, func() { storeDone = true })
+					b.Crash()
+					if got := b.FramesInUse(); got != 0 {
+						t.Errorf("frames in use = %d immediately after crash, want 0", got)
+					}
+					// Chains behind the in-flight write, then reads the
+					// failed-over disk copy.
+					t2 := k.Now()
+					b.Load(c, mm, 3, func() {
+						chainedLoad = k.Now() - t2
+						t1 := k.Now()
+						b.Load(c, mm, 2, func() {
+							diskLoad = k.Now() - t1
+							done()
+						})
+					})
+				})
+			})
+		})
+	})
+	if remoteLoad == 0 || diskLoad == 0 || chainedLoad == 0 {
+		t.Fatal("not every load completed after the crash")
+	}
+	if !storeDone {
+		t.Fatal("the in-flight write's completion never fired")
+	}
+	if diskLoad < m.RemoteFallbackPerPage {
+		t.Fatalf("post-crash load %v under the disk floor %v; read a dead node's memory", diskLoad, m.RemoteFallbackPerPage)
+	}
+	if chainedLoad < m.RemoteFallbackPerPage {
+		t.Fatalf("chained post-crash load %v under the disk floor %v", chainedLoad, m.RemoteFallbackPerPage)
+	}
+	if diskLoad <= remoteLoad {
+		t.Fatalf("post-crash load (%v) not slower than the remote baseline (%v)", diskLoad, remoteLoad)
+	}
+	if k.Metrics.Counter("remote.crashes") != 1 {
+		t.Fatalf("crashes = %d, want 1", k.Metrics.Counter("remote.crashes"))
+	}
+	// Pages 2 and 3 were remote-resident at crash time; page 1 had already
+	// been consumed by its load.
+	if got := k.Metrics.Counter("remote.crash_failover"); got != 2 {
+		t.Fatalf("crash_failover = %d, want 2", got)
+	}
+	if k.Metrics.Counter("remote.inflight_waits") != 1 {
+		t.Fatalf("inflight_waits = %d, want 1 (load chained on the dying write)", k.Metrics.Counter("remote.inflight_waits"))
+	}
+	if b.FramesInUse() != 0 {
+		t.Fatalf("frames in use = %d after drain, want 0 (leak or double free)", b.FramesInUse())
+	}
+	if b.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after drain", b.InFlight())
+	}
+}
+
+// TestCrashThenReuse: after a crash the replacement server's pool starts
+// empty, so new stores claim fresh frames and the books stay balanced.
+func TestCrashThenReuse(t *testing.T) {
+	k, b := testKernel(Config{RemoteFrames: 2})
+	drive(k, 0, func(c *kernel.Core, th *kernel.Thread, done func()) {
+		mm, _ := key(k, 0)
+		b.Store(c, mm, 1, func() {
+			b.Store(c, mm, 2, func() {
+				b.Crash()
+				// Both frames were lost with the server; the new pool must
+				// accept two fresh pages without hitting the cap.
+				b.Store(c, mm, 10, func() {
+					b.Store(c, mm, 11, func() {
+						b.Load(c, mm, 10, func() {
+							b.Load(c, mm, 11, done)
+						})
+					})
+				})
+			})
+		})
+	})
+	if got := k.Metrics.Counter("remote.pool_full"); got != 0 {
+		t.Fatalf("pool_full = %d after restart freed the pool, want 0", got)
+	}
+	if b.FramesInUse() != 0 {
+		t.Fatalf("frames in use = %d after loads, want 0", b.FramesInUse())
+	}
+}

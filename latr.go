@@ -37,6 +37,7 @@ import (
 	"io"
 
 	"latr/internal/chaos"
+	"latr/internal/cluster"
 	latrcore "latr/internal/core"
 	"latr/internal/cost"
 	"latr/internal/experiments"
@@ -242,6 +243,45 @@ func NewChaosInjector(seed uint64, prof ChaosProfile) *ChaosInjector {
 // kernel, fault schedule, bursty workload) and reports the outcome. Same
 // config, same Result, bit for bit.
 func ChaosRun(cfg ChaosRunConfig) ChaosResult { return chaos.Run(cfg) }
+
+// Fault-tolerant multi-machine cluster (DESIGN.md §12), re-exported.
+type (
+	// ClusterConfig tunes one multi-machine cluster run: fleet shape, KV
+	// service mix, routing, admission control, the retry/hedge pipeline
+	// and the fault profile.
+	ClusterConfig = cluster.Config
+	// Cluster is an assembled fleet of kernel+workload machines behind
+	// the routing/retry front-end, all on one shared engine.
+	Cluster = cluster.Cluster
+	// ClusterResult is what one cluster run reports.
+	ClusterResult = cluster.Result
+	// ClusterHealth is the front-end's per-node health state
+	// (healthy → degraded → down → recovering).
+	ClusterHealth = cluster.Health
+	// ClusterFaultProfile parameterises the fleet-level fault schedule
+	// (node crash/restart, slow node, partition, queue overflow).
+	ClusterFaultProfile = chaos.ClusterProfile
+)
+
+// DefaultClusterConfig returns the default 3-node fleet shape.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// NewCluster assembles a fleet; it panics on an invalid config, like
+// NewSystem. Run it once with Cluster.Run.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// ClusterRouters lists the front-end routing policies.
+func ClusterRouters() []string { return cluster.RouterNames() }
+
+// ClusterFaultProfiles returns the built-in cluster fault-profile names,
+// sorted.
+func ClusterFaultProfiles() []string { return chaos.ClusterProfiles() }
+
+// ClusterFaultProfileByName looks up a built-in cluster fault profile;
+// "" and "none" resolve to the fault-free profile.
+func ClusterFaultProfileByName(name string) (ClusterFaultProfile, error) {
+	return chaos.ClusterProfileByName(name)
+}
 
 // AutoNUMAConfig tunes the AutoNUMA balancer.
 type AutoNUMAConfig = numa.Config
