@@ -266,6 +266,15 @@ func BenchmarkHarnessMatrix(b *testing.B) {
 		baseline.Entries = append(baseline.Entries, entry{workers, wall, speedup})
 		b.ReportMetric(speedup, "speedup_w"+strconv.Itoa(workers))
 	}
+	// Going from one worker to two must never cost wall clock: the pool's
+	// only per-run overhead is one atomic fetch-add, so even on a single
+	// CPU two workers run at ~1.0x. The 0.90 floor absorbs scheduler noise
+	// while still catching the class of bug where per-run dispatch
+	// overhead (channel round-trips, per-item goroutines) makes a second
+	// worker a net loss.
+	if w2 := baseline.Entries[1].Speedup; w2 < 0.90 {
+		b.Fatalf("2-worker speedup %.3fx is below 0.90x: adding a worker lost wall clock (dispatch overhead regression)", w2)
+	}
 	for _, r := range seq {
 		if r.Err != "" {
 			b.Fatalf("matrix run failed: %s", r.Fingerprint())

@@ -3,9 +3,19 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
+
+// pinGOMAXPROCS matches the live setting to the one the committed
+// fixtures were recorded at — the gate refuses cross-GOMAXPROCS
+// comparison by design, and these tests exercise the *drift* paths.
+func pinGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
 
 // TestList prints the experiment ids and exits 0.
 func TestList(t *testing.T) {
@@ -60,6 +70,7 @@ func repoBaselines(t *testing.T) string {
 // TestCompareCommittedBaselinesPass is the positive regression-gate check:
 // the deterministic engine must reproduce every committed baseline.
 func TestCompareCommittedBaselinesPass(t *testing.T) {
+	pinGOMAXPROCS(t, 1)
 	var out, errb strings.Builder
 	code := run(&out, &errb, []string{"-compare", repoBaselines(t), "-parallel", "1"})
 	if code != 0 {
@@ -74,6 +85,7 @@ func TestCompareCommittedBaselinesPass(t *testing.T) {
 // slowed baseline (testdata/slowed inflates the Linux shootdown cell by
 // ~37%) must trip the gate with a non-zero exit.
 func TestCompareSlowedBaselineFails(t *testing.T) {
+	pinGOMAXPROCS(t, 1)
 	var out, errb strings.Builder
 	code := run(&out, &errb, []string{"-compare", filepath.Join("testdata", "slowed"), "-parallel", "1"})
 	if code == 0 {
@@ -90,6 +102,7 @@ func TestCompareSlowedBaselineFails(t *testing.T) {
 // TestCompareSlowedBaselineWithinLooseTolerance: the same slowed baseline
 // passes when the tolerance is explicitly widened past the drift.
 func TestCompareSlowedBaselineWithinLooseTolerance(t *testing.T) {
+	pinGOMAXPROCS(t, 1)
 	var out, errb strings.Builder
 	code := run(&out, &errb, []string{
 		"-compare", filepath.Join("testdata", "slowed"), "-tolerance", "0.5", "-parallel", "1"})

@@ -105,6 +105,7 @@ func main() {
 		clusterProf = flag.String("cluster-profiles", "none,node-crash", "cluster: comma-separated fault profiles; one of none, "+strings.Join(latr.ClusterFaultProfiles(), ", "))
 		clusterMach = flag.String("cluster-machine", "", "cluster: per-node machine shape NxM (default: 2x4)")
 		clusterHdg  = flag.Duration("cluster-hedge", time.Millisecond, "cluster: hedge delay for a duplicate attempt (0 disables hedging)")
+		clusterSh   = flag.Int("cluster-shards", 0, "cluster: event-engine shards per cell (0 = sequential; results are byte-identical at any count)")
 
 		litmusOn   = flag.Bool("litmus", false, "run the litmus corpus through the differential oracle instead of a workload")
 		litmusGen  = flag.Int("litmus-gen", 0, "litmus: also run this many generated scenarios")
@@ -144,6 +145,7 @@ func main() {
 			profiles: *clusterProf,
 			nodes:    *clusterN,
 			machine:  *clusterMach,
+			shards:   *clusterSh,
 			duration: latr.Time(duration.Nanoseconds()),
 			hedge:    latr.Time(clusterHdg.Nanoseconds()),
 			seed:     *seed,

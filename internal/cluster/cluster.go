@@ -12,10 +12,18 @@
 // chaos cluster fault family (node crash/restart, slow nodes, partition
 // windows, queue-overflow shedding) makes the fleet unreliable.
 //
-// Everything runs on one sim.Engine, so a cluster run is single-threaded
-// and byte-deterministic per seed; the experiment layer fans isolated
-// (policy × router × fault profile) cells across internal/fan workers
-// without changing any byte of output.
+// The fleet runs on a sim.Sharded engine: the front-end is one endpoint,
+// every node is another, and the one-sided wire delay (netDelay) is the
+// conservative lookahead bound, so with Shards > 1 the machines simulate
+// in parallel between window barriers. A cluster run is byte-deterministic
+// per seed at ANY shard count — the front-end never reads node state
+// directly (it routes on a per-node mirror fed by scheduled fault windows
+// and its own attempt accounting), every front↔node interaction crosses
+// the wire as a barrier-ordered message, and the fault schedule is drawn
+// up front and applied to both sides at the same virtual instants. The
+// experiment layer additionally fans isolated (policy × router × fault
+// profile) cells across internal/fan workers, again without changing any
+// byte of output.
 package cluster
 
 import (
@@ -67,6 +75,11 @@ type Config struct {
 	// Router selects the routing policy: round-robin, least-loaded or
 	// affinity (default "round-robin").
 	Router string
+	// Shards is the number of event-engine shards the fleet simulates on
+	// (default 1: the sequential reference). Results are byte-identical at
+	// every value; more shards only buys wall-clock parallelism, up to one
+	// shard per node plus one for the front-end.
+	Shards int
 	// Profile is the cluster fault schedule (zero value: fault-free).
 	Profile chaos.ClusterProfile
 	// Seed drives every random stream in the run.
@@ -186,6 +199,12 @@ func (c Config) Validate() error {
 			return fmt.Errorf("cluster: unknown router %q (have %v)", c.Router, RouterNames())
 		}
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: Shards %d is negative", c.Shards)
+	}
+	if c.Shards > maxNodes+1 {
+		return fmt.Errorf("cluster: Shards %d exceeds the maximum %d", c.Shards, maxNodes+1)
+	}
 	if c.Keys < 0 {
 		return fmt.Errorf("cluster: Keys %d is negative", c.Keys)
 	}
@@ -279,6 +298,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Router == "" {
 		c.Router = d.Router
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	if c.Keys == 0 {
 		c.Keys = d.Keys
@@ -374,16 +396,22 @@ func newPolicy(name string) (kernel.Policy, error) {
 // Cluster is one assembled fleet. Build with New, run once with Run.
 type Cluster struct {
 	cfg    Config
-	eng    *sim.Engine
+	sh     *sim.Sharded
+	front  *sim.Endpoint
+	eng    *sim.Engine // the front-end's shard engine: all front-side state lives here
 	met    *metrics.Registry
 	tracer *trace.Tracer
 	spans  *obs.Collector
 	rng    *sim.Rand // arrivals, key mix, backoff jitter
-	frng   *sim.Rand // fault windows (separate stream: the fault schedule
-	// does not perturb the arrival process)
 	router router
 	bucket *tokenBucket
 	nodes  []*node
+	// peers is the front-end's mirror of each node — health flags derived
+	// from the scheduled fault windows plus the front's own attempt
+	// accounting. Routing and probing consult ONLY this view, never the
+	// node itself, so the front-end shard shares no mutable state with the
+	// node shards.
+	peers []*peerView
 
 	queueDepth  int
 	nextReqID   uint64
@@ -392,21 +420,30 @@ type Cluster struct {
 	ran         bool
 }
 
-// New assembles a cluster: N kernels on one shared engine, each with its
-// swapper, remote backend and warmed KV arena, plus the front-end. It
-// panics on a Validate error, like swap.New.
+// New assembles a cluster: the sharded engine, N kernels (each on its own
+// endpoint, so with Shards > 1 they spread across shards), and the
+// front-end on endpoint 0. It panics on a Validate error, like swap.New.
 func New(cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
-	c := &Cluster{
-		cfg:  cfg,
-		eng:  sim.NewEngine(),
-		met:  metrics.NewRegistry(),
-		rng:  sim.NewRand(cfg.Seed ^ 0xc1057e2f3a4b5c6d),
-		frng: sim.NewRand(cfg.Seed ^ 0xfa_017_1e57),
+	shards := cfg.Shards
+	if shards > cfg.Nodes+1 {
+		shards = cfg.Nodes + 1
 	}
+	c := &Cluster{
+		cfg: cfg,
+		sh: sim.NewSharded(sim.ShardedConfig{
+			Shards:    shards,
+			Lookahead: netDelay,
+			Parallel:  shards > 1,
+		}),
+		met: metrics.NewRegistry(),
+		rng: sim.NewRand(cfg.Seed ^ 0xc1057e2f3a4b5c6d),
+	}
+	c.front = c.sh.NewEndpoint(0)
+	c.eng = c.front.Engine()
 	if cfg.TraceLimit > 0 {
 		c.tracer = trace.New(cfg.TraceLimit)
 	}
@@ -418,6 +455,7 @@ func New(cfg Config) *Cluster {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, newNode(c, i))
+		c.peers = append(c.peers, &peerView{cl: c, id: i})
 	}
 	c.router = newRouter(cfg.Router, c)
 	return c
@@ -458,30 +496,33 @@ func (c *Cluster) Run() Result {
 		panic("cluster: Run called twice")
 	}
 	c.ran = true
+	defer c.sh.Close()
 
+	// Between RunUntil calls no window is in flight, so reading node state
+	// (n.loaded, c.outstanding) from here is ordered after all shard work.
 	for {
-		now := c.eng.Now()
+		now := c.sh.Now()
 		if c.loaded() {
 			break
 		}
 		if now >= warmLimit {
 			panic("cluster: warm-up did not finish; arena too large for the machine")
 		}
-		c.eng.RunUntil(now + 5*sim.Millisecond)
+		c.sh.RunUntil(now + 5*sim.Millisecond)
 	}
 
-	start := c.eng.Now()
+	start := c.sh.Now()
 	c.trafficEnd = start + c.cfg.Duration
-	c.startFaults()
+	c.startFaults(start)
 	c.scheduleArrival()
-	c.eng.RunUntil(c.trafficEnd)
+	c.sh.RunUntil(c.trafficEnd)
 
 	// Drain: the engine never empties (scheduler ticks), so run in chunks
 	// until the last admitted request resolves. The request deadline
 	// bounds this at one RequestDeadline past the traffic window.
 	drainLimit := c.trafficEnd + c.cfg.RequestDeadline + 10*sim.Millisecond
-	for c.outstanding > 0 && c.eng.Now() < drainLimit {
-		c.eng.RunUntil(c.eng.Now() + sim.Millisecond)
+	for c.outstanding > 0 && c.sh.Now() < drainLimit {
+		c.sh.RunUntil(c.sh.Now() + sim.Millisecond)
 	}
 	if c.outstanding > 0 {
 		panic(fmt.Sprintf("cluster: %d requests still outstanding after drain", c.outstanding))
@@ -529,13 +570,15 @@ func (c *Cluster) result() Result {
 		Timeouts:      c.met.Counter("cluster.timeouts"),
 		Shed:          c.met.Counter("cluster.shed"),
 		Refused:       c.met.Counter("cluster.refused"),
-		Orphans:       c.met.Counter("cluster.orphans"),
 		Latency:       c.met.Perc("cluster.req_latency"),
 		GoodputPerSec: float64(c.met.Counter("cluster.completed")) / c.cfg.Duration.Seconds(),
-		SimTime:       c.eng.Now(),
+		SimTime:       c.sh.Now(),
 		Digest:        c.Digest(),
 	}
 	for _, n := range c.nodes {
+		// Node-side accounting (orphans, served, partition drops) lives in
+		// each node's registry so no shard ever writes another's metrics.
+		r.Orphans += n.k.Metrics.Counter("cluster.orphans")
 		if n.k.Audit != nil {
 			r.Violations += n.k.Audit.Len()
 		}
@@ -545,7 +588,9 @@ func (c *Cluster) result() Result {
 
 // Digest folds the engine's event history, the front-end metrics and
 // every node's metrics into one comparable value. Two runs of the same
-// seeded configuration — at any fan worker count — must digest equal.
+// seeded configuration — at any fan worker count AND any shard count —
+// must digest equal: the sharded fingerprint is built from shard-count
+// invariants, and every other input is per-node or front-end state.
 func (c *Cluster) Digest() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -555,7 +600,7 @@ func (c *Cluster) Digest() uint64 {
 		}
 		h.Write(buf[:])
 	}
-	w(c.eng.Fingerprint())
+	w(c.sh.Fingerprint())
 	w(c.met.Fingerprint())
 	w(c.spans.Digest())
 	for _, n := range c.nodes {

@@ -208,6 +208,44 @@ func TestDeterministicDigest(t *testing.T) {
 	}
 }
 
+// TestShardCountInvariance: the digest — and therefore every metric,
+// span and fault outcome folded into it — is identical at every shard
+// count, serial or parallel, fault-free or under chaos profiles. This is
+// the contract that lets CI run the fleet on a sharded engine and
+// compare against the sequential reference byte for byte.
+func TestShardCountInvariance(t *testing.T) {
+	profiles := []string{"", "node-crash", "flaky-fleet"}
+	for _, prof := range profiles {
+		name := prof
+		if name == "" {
+			name = "fault-free"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) Result {
+				cfg := testConfig()
+				cfg.HedgeDelay = sim.Millisecond
+				if prof != "" {
+					cfg.Profile = profile(t, prof)
+				}
+				cfg.Shards = shards
+				return New(cfg).Run()
+			}
+			ref := run(1)
+			for _, shards := range []int{2, 4} {
+				got := run(shards)
+				if got.Digest != ref.Digest {
+					t.Errorf("shards=%d digest %016x != sequential reference %016x",
+						shards, got.Digest, ref.Digest)
+				}
+				if got.Completed != ref.Completed || got.Failed != ref.Failed {
+					t.Errorf("shards=%d completed/failed %d/%d != reference %d/%d",
+						shards, got.Completed, got.Failed, ref.Completed, ref.Failed)
+				}
+			}
+		})
+	}
+}
+
 func TestRunTwicePanics(t *testing.T) {
 	cl := New(testConfig())
 	cl.Run()

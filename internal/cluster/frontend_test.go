@@ -74,7 +74,7 @@ func TestRoundRobinCyclesAndSkipsDown(t *testing.T) {
 			t.Fatalf("round-robin sequence %v, want %v", got, want)
 		}
 	}
-	c.nodes[1].crashed = true
+	c.peers[1].crashed = true
 	got = got[:0]
 	for i := 0; i < 4; i++ {
 		got = append(got, c.router.Pick(0, 0, -1))
@@ -96,13 +96,13 @@ func TestRoutersAvoidExcludedNode(t *testing.T) {
 		}
 		// The excluded node is still better than nothing: with every other
 		// node down it must be picked rather than returning -1.
-		c.nodes[0].crashed = true
-		c.nodes[1].crashed = true
+		c.peers[0].crashed = true
+		c.peers[1].crashed = true
 		if got := c.router.Pick(0, 0, 2); got != 2 {
 			t.Fatalf("%s returned %d with only the excluded node up", name, got)
 		}
 		// And with the whole fleet down there is nobody to pick.
-		c.nodes[2].crashed = true
+		c.peers[2].crashed = true
 		if got := c.router.Pick(0, 0, -1); got != -1 {
 			t.Fatalf("%s picked %d from an all-down fleet", name, got)
 		}
@@ -111,15 +111,15 @@ func TestRoutersAvoidExcludedNode(t *testing.T) {
 
 func TestLeastLoadedPicksShortestQueue(t *testing.T) {
 	c := newFleet(t, "least-loaded")
-	c.nodes[0].inflight = 5
-	c.nodes[1].inflight = 1
-	c.nodes[2].inflight = 3
+	c.peers[0].outstanding = 5
+	c.peers[1].outstanding = 1
+	c.peers[2].outstanding = 3
 	if got := c.router.Pick(0, 0, -1); got != 1 {
 		t.Fatalf("least-loaded picked %d, want 1", got)
 	}
 	// Ties break to the lowest id, keeping the pick deterministic.
-	c.nodes[1].inflight = 3
-	c.nodes[0].inflight = 3
+	c.peers[1].outstanding = 3
+	c.peers[0].outstanding = 3
 	if got := c.router.Pick(0, 0, -1); got != 0 {
 		t.Fatalf("least-loaded tie-break picked %d, want 0", got)
 	}
@@ -133,7 +133,7 @@ func TestAffinityHomesKeysAndSpills(t *testing.T) {
 		}
 	}
 	// A down home spills to the next node, consistent-hashing style.
-	c.nodes[1].crashed = true
+	c.peers[1].crashed = true
 	if got := c.router.Pick(0, 4, -1); got != 2 {
 		t.Fatalf("key 4 with home 1 down routed to %d, want 2", got)
 	}
@@ -141,7 +141,7 @@ func TestAffinityHomesKeysAndSpills(t *testing.T) {
 
 func TestHealthPrecedenceAndTransitions(t *testing.T) {
 	c := newFleet(t, "round-robin")
-	n := c.nodes[0]
+	n := c.peers[0]
 	now := sim.Time(0)
 	if h := n.health(now); h != Healthy {
 		t.Fatalf("fresh node health %v", h)

@@ -32,6 +32,7 @@ func nodeLane(i int) topo.CoreID { return topo.CoreID(1 + i) }
 type node struct {
 	id      int
 	cl      *Cluster
+	ep      *sim.Endpoint // the node's shard endpoint; all node state lives on its shard
 	k       *kernel.Kernel
 	backend *remote.Backend
 	swapper *swap.Swapper
@@ -45,21 +46,20 @@ type node struct {
 	idle     []*kernel.Thread
 	inflight int // attempts dequeued and in service
 
-	// Fault condition flags; health() derives the routing view from them.
-	epoch          uint64 // bumped per crash; stale-epoch completions are orphans
-	crashed        bool
-	slowUntil      sim.Time
-	slowFactor     int // percent, active while now < slowUntil
-	partUntil      sim.Time
-	recoverUntil   sim.Time
-	suspected      bool
-	consecTimeouts int
-	lastHealth     Health
+	// Fault condition flags, node-side: applied by the precomputed fault
+	// schedule at absolute times, read only by code running on this node's
+	// shard. The front-end's routing view is the peerView mirror, fed by
+	// the same schedule — never these fields.
+	epoch      uint64 // bumped per crash; stale-epoch completions are orphans
+	crashed    bool
+	slowUntil  sim.Time
+	slowFactor int // percent, active while now < slowUntil
+	partUntil  sim.Time
 }
 
-// newNode builds node id on the cluster's shared engine and spawns its
-// loader and worker threads. Nothing runs until Cluster.Run drives the
-// engine.
+// newNode builds node id on its own endpoint of the cluster's sharded
+// engine and spawns its loader and worker threads. Nothing runs until
+// Cluster.Run drives the engine.
 func newNode(c *Cluster, id int) *node {
 	cfg := c.cfg
 	spec, err := machineByName(cfg.Machine)
@@ -71,13 +71,14 @@ func newNode(c *Cluster, id int) *node {
 	if err != nil {
 		panic(err)
 	}
+	ep := c.sh.NewEndpoint(1 + id)
 	k := kernel.New(spec, cost.Default(spec), pol, kernel.Options{
 		Seed:            cfg.Seed ^ (uint64(id+1) * 0x9e3779b97f4a7c15),
-		Engine:          c.eng,
+		Engine:          ep.Engine(),
 		Audit:           cfg.Audit,
 		CheckInvariants: cfg.CheckInvariants,
 	})
-	n := &node{id: id, cl: c, k: k, lastHealth: Healthy}
+	n := &node{id: id, cl: c, ep: ep, k: k}
 
 	// Watermarks scale with the shrunken per-node memory so the swapper
 	// keeps pressure on while the hot set stays resident.
@@ -242,20 +243,27 @@ func (n *node) enqueue(at *attempt) bool {
 	return true
 }
 
+// sendFront delivers fn to the front-end shard after the wire delay —
+// the only way node-side code ever reaches front-end state.
+func (n *node) sendFront(delay sim.Time, fn func(now sim.Time)) {
+	n.ep.Send(n.cl.front, delay, fn)
+}
+
 // finish is the node-side end of one serviced attempt: suppress the reply
 // if the connection epoch died (crash) or the partition eats it,
-// otherwise deliver it to the front-end after the wire delay.
+// otherwise deliver it to the front-end after the wire delay. Suppressed
+// outcomes count in the node's own registry, not the front-end's.
 func (n *node) finish(at *attempt, now sim.Time) {
 	n.inflight--
 	n.k.Metrics.Inc("cluster.served", 1)
 	cl := n.cl
 	if at.epoch != n.epoch {
-		cl.met.Inc("cluster.orphans", 1)
+		n.k.Metrics.Inc("cluster.orphans", 1)
 		return
 	}
 	if now < n.partUntil {
-		cl.met.Inc("cluster.part_dropped", 1)
+		n.k.Metrics.Inc("cluster.part_dropped", 1)
 		return
 	}
-	cl.eng.After(netDelay, func(now sim.Time) { cl.attemptDone(at, now) })
+	n.sendFront(netDelay, func(now sim.Time) { cl.attemptDone(at, now) })
 }

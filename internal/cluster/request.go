@@ -105,6 +105,7 @@ func (c *Cluster) dispatch(req *request, exclude int, hedge bool, now sim.Time) 
 	req.inflight++
 	at := &attempt{req: req, node: nodeID, idx: req.attempts, hedge: hedge, start: now}
 	c.met.Inc("cluster.attempts", 1)
+	c.peers[nodeID].outstanding++
 	if hedge || at.idx > 1 {
 		req.span.MarkLazy(obs.PhaseSend, nodeLane(nodeID), now, 0)
 	} else {
@@ -112,18 +113,20 @@ func (c *Cluster) dispatch(req *request, exclude int, hedge bool, now sim.Time) 
 	}
 	n := c.nodes[nodeID]
 	at.timer = c.eng.After(c.cfg.RequestTimeout, func(now sim.Time) { c.attemptTimeout(at, now) })
-	c.eng.After(netDelay, func(now sim.Time) {
+	// The attempt crosses the wire to the node's shard and meets the
+	// node's condition there; fast failures cross back the same way.
+	c.front.Send(n.ep, netDelay, func(now sim.Time) {
 		if now < n.partUntil {
-			c.met.Inc("cluster.part_dropped", 1)
+			n.k.Metrics.Inc("cluster.part_dropped", 1)
 			return
 		}
 		if n.crashed {
-			c.eng.After(netDelay, func(now sim.Time) { c.attemptFailed(at, "refused", now) })
+			n.sendFront(netDelay, func(now sim.Time) { c.attemptFailed(at, "refused", now) })
 			return
 		}
 		at.epoch = n.epoch
 		if !n.enqueue(at) {
-			c.eng.After(netDelay, func(now sim.Time) { c.attemptFailed(at, "shed", now) })
+			n.sendFront(netDelay, func(now sim.Time) { c.attemptFailed(at, "shed", now) })
 		}
 	})
 	// Hedge: if the sole first attempt is still unresolved after
@@ -146,12 +149,13 @@ func (c *Cluster) dispatch(req *request, exclude int, hedge bool, now sim.Time) 
 // first live reply completes the request, later ones (the hedge's
 // sibling) are wasted work.
 func (c *Cluster) attemptDone(at *attempt, now sim.Time) {
-	c.nodes[at.node].consecTimeouts = 0
+	c.peers[at.node].consecTimeouts = 0
 	if at.settled {
 		c.met.Inc("cluster.late_replies", 1)
 		return
 	}
 	at.settled = true
+	c.peers[at.node].outstanding--
 	c.eng.Cancel(at.timer)
 	req := at.req
 	req.inflight--
@@ -172,12 +176,13 @@ func (c *Cluster) attemptFailed(at *attempt, reason string, now sim.Time) {
 		return
 	}
 	at.settled = true
+	c.peers[at.node].outstanding--
 	c.eng.Cancel(at.timer)
 	req := at.req
 	req.inflight--
 	c.met.Inc("cluster."+reason, 1)
 	c.met.ObservePerc("cluster.attempt_latency", now-at.start)
-	c.nodes[at.node].consecTimeouts = 0
+	c.peers[at.node].consecTimeouts = 0
 	if req.done {
 		return
 	}
@@ -194,14 +199,15 @@ func (c *Cluster) attemptTimeout(at *attempt, now sim.Time) {
 		return
 	}
 	at.settled = true
+	c.peers[at.node].outstanding--
 	req := at.req
 	req.inflight--
 	c.met.Inc("cluster.timeouts", 1)
 	c.met.ObservePerc("cluster.attempt_latency", now-at.start)
-	n := c.nodes[at.node]
-	n.consecTimeouts++
-	if n.consecTimeouts >= suspectAfter {
-		c.suspect(n, now)
+	pv := c.peers[at.node]
+	pv.consecTimeouts++
+	if pv.consecTimeouts >= suspectAfter {
+		c.suspect(pv, now)
 	}
 	if req.done {
 		return

@@ -37,11 +37,11 @@ func newRouter(name string, c *Cluster) router {
 	panic("cluster: unknown router " + name)
 }
 
-// usable reports whether node i accepts traffic: anything not Down.
-// Degraded and Recovering nodes stay in rotation — the robustness
-// pipeline, not the router, pays for their slowness.
+// usable reports whether node i accepts traffic: anything not Down in
+// the front-end's mirror. Degraded and Recovering nodes stay in rotation
+// — the robustness pipeline, not the router, pays for their slowness.
 func usable(c *Cluster, i int, now sim.Time) bool {
-	return c.nodes[i].health(now) != Down
+	return c.peers[i].health(now) != Down
 }
 
 // pickFrom scans n candidate offsets via idx(j) and returns the first
@@ -81,10 +81,12 @@ func (r *roundRobin) Pick(now sim.Time, key, exclude int) int {
 	return picked
 }
 
-// leastLoaded picks the usable node with the fewest queued plus in-service
-// attempts; ties go to the lowest id. This is the router that reacts to
-// Degraded nodes without being told: a slow node's queue grows and traffic
-// drains away from it.
+// leastLoaded picks the usable node with the fewest unsettled attempts
+// as the front-end has observed them; ties go to the lowest id. This is
+// the router that reacts to Degraded nodes without being told: a slow
+// node settles attempts slowly, its outstanding count grows, and traffic
+// drains away from it. (A real balancer routes on exactly this signal —
+// its own in-flight book — since it cannot see server queue depths.)
 type leastLoaded struct{ c *Cluster }
 
 func (r *leastLoaded) Name() string { return "least-loaded" }
@@ -92,7 +94,7 @@ func (r *leastLoaded) Name() string { return "least-loaded" }
 func (r *leastLoaded) Pick(now sim.Time, key, exclude int) int {
 	best, bestLoad := -1, 0
 	fallback := -1
-	for i, n := range r.c.nodes {
+	for i, pv := range r.c.peers {
 		if !usable(r.c, i, now) {
 			continue
 		}
@@ -100,7 +102,7 @@ func (r *leastLoaded) Pick(now sim.Time, key, exclude int) int {
 			fallback = i
 			continue
 		}
-		load := len(n.queue) + n.inflight
+		load := pv.outstanding
 		if best < 0 || load < bestLoad {
 			best, bestLoad = i, load
 		}

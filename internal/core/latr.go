@@ -127,6 +127,9 @@ type State struct {
 	// gateArmed marks that a forced-sweep timeout is already pending for
 	// this occupancy (one timer per state, however many faults gate on it).
 	gateArmed bool
+	// owner is the core whose queue holds this state, so deactivation can
+	// maintain the per-queue live count the sweep skip relies on.
+	owner topo.CoreID
 }
 
 // Policy is the LATR coherence policy.
@@ -137,6 +140,13 @@ type Policy struct {
 	// queues[core][slot]: the per-core cyclic state arrays. Slots are
 	// reused once inactive.
 	queues [][]State
+	// activeCount[core] tracks live states per queue so sweeps skip empty
+	// queues outright — on big topologies most queues are empty most ticks,
+	// and the full scan was ~10% of reproduction CPU time.
+	activeCount []int
+	// sweepScratch is the reusable relevant-state buffer for sweep; the
+	// per-sweep allocation showed up in the allocation profile.
+	sweepScratch []*State
 
 	reclaim []reclaimEntry
 }
@@ -174,6 +184,7 @@ func (p *Policy) Attach(k *kernel.Kernel) {
 	for i := range p.queues {
 		p.queues[i] = make([]State, p.cfg.QueueDepth)
 	}
+	p.activeCount = make([]int, n)
 	k.Engine.At(p.cfg.ReclaimPeriod/2, p.reclaimPass)
 	if k.Audit != nil {
 		k.Engine.At(p.cfg.ReclaimPeriod, p.auditPass)
@@ -214,7 +225,9 @@ func (p *Policy) record(c *kernel.Core, s State) (*State, bool) {
 	s.Active = true
 	s.recordedAt = p.k.Now()
 	s.gen = q[free].gen + 1
+	s.owner = c.ID
 	q[free] = s
+	p.activeCount[c.ID]++
 	p.k.Metrics.Inc("latr.states_recorded", 1)
 	return &q[free], true
 }
@@ -393,9 +406,12 @@ func (p *Policy) OnMMExit(*kernel.MM) {}
 func (p *Policy) sweep(c *kernel.Core) sim.Time {
 	k := p.k
 	m := &k.Cost
-	var relevant []*State
+	relevant := p.sweepScratch[:0]
 	totalPages := 0
 	for coreIdx := range p.queues {
+		if p.activeCount[coreIdx] == 0 {
+			continue
+		}
 		q := p.queues[coreIdx]
 		for i := range q {
 			st := &q[i]
@@ -405,6 +421,12 @@ func (p *Policy) sweep(c *kernel.Core) sim.Time {
 			}
 		}
 	}
+	defer func() {
+		for i := range relevant {
+			relevant[i] = nil
+		}
+		p.sweepScratch = relevant[:0]
+	}()
 	cost := m.LATRSweepBase
 	if len(relevant) == 0 {
 		return cost
@@ -455,6 +477,7 @@ func (p *Policy) sweep(c *kernel.Core) sim.Time {
 // that lane and the state's retained reference dropped.
 func (p *Policy) completeState(st *State, by topo.CoreID, at sim.Time) {
 	st.Active = false
+	p.activeCount[st.owner]--
 	p.k.Metrics.Inc("latr.states_completed", 1)
 	p.k.Metrics.Observe("latr.state_lifetime", p.k.Now()-st.recordedAt)
 	if sp := st.span; sp != nil {
@@ -478,6 +501,9 @@ func (p *Policy) completeState(st *State, by topo.CoreID, at sim.Time) {
 // when the state clears.
 func (p *Policy) GateMigration(mm *kernel.MM, vpn pt.VPN, cont func()) bool {
 	for coreIdx := range p.queues {
+		if p.activeCount[coreIdx] == 0 {
+			continue
+		}
 		q := p.queues[coreIdx]
 		for i := range q {
 			st := &q[i]

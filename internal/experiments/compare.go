@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -18,29 +19,37 @@ import (
 // BenchJSON is one experiment's archived result. The deterministic engine
 // makes every cell reproducible for a given (seed, quick) pair, so the
 // only legitimate sources of drift are intentional model changes.
+//
+// GoMaxProcs records the parallelism the run was measured at. Result
+// cells are deterministic regardless, but wall_sec is not, and a
+// baseline silently recorded on a 1-core box once hid a 2-worker
+// regression — so the header carries the setting and CompareBench
+// refuses to diff across different ones.
 type BenchJSON struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Quick   bool       `json:"quick"`
-	Seed    uint64     `json:"seed"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-	WallSec float64    `json:"wall_sec"`
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Quick      bool       `json:"quick"`
+	Seed       uint64     `json:"seed"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	WallSec    float64    `json:"wall_sec"`
 }
 
 // BenchJSONFromTable captures a finished Table and the options that
-// produced it.
+// produced it, stamped with the GOMAXPROCS it ran at.
 func BenchJSONFromTable(t *Table, o Options, wallSec float64) BenchJSON {
 	return BenchJSON{
-		ID:      t.ID,
-		Title:   t.Title,
-		Quick:   o.Quick,
-		Seed:    o.Seed,
-		Columns: t.Columns,
-		Rows:    t.Rows,
-		Notes:   t.Notes,
-		WallSec: wallSec,
+		ID:         t.ID,
+		Title:      t.Title,
+		Quick:      o.Quick,
+		Seed:       o.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Columns:    t.Columns,
+		Rows:       t.Rows,
+		Notes:      t.Notes,
+		WallSec:    wallSec,
 	}
 }
 
@@ -148,6 +157,14 @@ func CompareBench(baseline, current BenchJSON, tol Tolerance) ([]CellDiff, error
 	if baseline.Quick != current.Quick || baseline.Seed != current.Seed {
 		return nil, fmt.Errorf("experiments: %s run options differ (baseline quick=%v seed=%d, current quick=%v seed=%d)",
 			baseline.ID, baseline.Quick, baseline.Seed, current.Quick, current.Seed)
+	}
+	if baseline.GoMaxProcs == 0 {
+		return nil, fmt.Errorf("experiments: %s baseline predates the gomaxprocs header — regenerate it (the wall-clock context it was recorded under is unknown)",
+			baseline.ID)
+	}
+	if baseline.GoMaxProcs != current.GoMaxProcs {
+		return nil, fmt.Errorf("experiments: %s was recorded at GOMAXPROCS=%d but this run is at GOMAXPROCS=%d — wall-clock and speedup context are not comparable; re-run with GOMAXPROCS=%d or regenerate the baseline",
+			baseline.ID, baseline.GoMaxProcs, current.GoMaxProcs, baseline.GoMaxProcs)
 	}
 	if strings.Join(baseline.Columns, "\x00") != strings.Join(current.Columns, "\x00") {
 		return nil, fmt.Errorf("experiments: %s columns changed (baseline %v, current %v) — regenerate the baseline",

@@ -4,17 +4,19 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
 
 func baseBench() BenchJSON {
 	return BenchJSON{
-		ID:      "table9",
-		Title:   "synthetic",
-		Quick:   true,
-		Seed:    1,
-		Columns: []string{"policy", "lat", "rate", "overhead"},
+		ID:         "table9",
+		Title:      "synthetic",
+		Quick:      true,
+		Seed:       1,
+		GoMaxProcs: 4,
+		Columns:    []string{"policy", "lat", "rate", "overhead"},
 		Rows: [][]string{
 			{"linux", "881.0ns", "54.3k/s", "12.0%"},
 			{"latr", "12.5us", "61.0k/s", "3.4%"},
@@ -157,6 +159,23 @@ func TestCompareStructuralErrors(t *testing.T) {
 	}
 }
 
+// TestCompareGoMaxProcs: a baseline recorded at a different GOMAXPROCS is
+// refused outright — its wall-clock context is not comparable — and one
+// that never recorded the setting demands regeneration.
+func TestCompareGoMaxProcs(t *testing.T) {
+	cur := baseBench()
+	cur.GoMaxProcs = 8
+	_, err := CompareBench(baseBench(), cur, Tolerance{})
+	if err == nil || !strings.Contains(err.Error(), "GOMAXPROCS=4") {
+		t.Fatalf("GOMAXPROCS 4 vs 8 compare: err=%v, want refusal naming the recorded value", err)
+	}
+	stale := baseBench()
+	stale.GoMaxProcs = 0
+	if _, err := CompareBench(stale, baseBench(), Tolerance{}); err == nil {
+		t.Fatal("baseline without a gomaxprocs header was accepted")
+	}
+}
+
 // TestBenchJSONRoundTrip: Marshal/LoadBenchJSON round-trips, and loading
 // rejects files that are not bench baselines.
 func TestBenchJSONRoundTrip(t *testing.T) {
@@ -195,5 +214,8 @@ func TestBenchJSONFromTable(t *testing.T) {
 	b := BenchJSONFromTable(tbl, Options{Quick: true, Seed: 9}, 1.5)
 	if b.ID != "x" || !b.Quick || b.Seed != 9 || b.WallSec != 1.5 || len(b.Rows) != 1 || b.Notes[0] != "n" {
 		t.Errorf("BenchJSONFromTable = %+v", b)
+	}
+	if b.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("GoMaxProcs = %d, want the live setting %d", b.GoMaxProcs, runtime.GOMAXPROCS(0))
 	}
 }

@@ -106,6 +106,12 @@ type Engine struct {
 
 	// Stats
 	dispatched uint64
+	// compactions and compactScanned record how much work heap compaction
+	// has done: the number of compaction passes and the total entries
+	// scanned across them. The mass-cancellation regression test asserts
+	// scanned work stays linear in the number of cancels.
+	compactions    uint64
+	compactScanned uint64
 }
 
 // maxFreeEvents bounds the recycled-node pool. Beyond this the nodes are
@@ -123,6 +129,19 @@ func (e *Engine) Now() Time { return e.now }
 
 // Dispatched reports how many events have fired so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Scheduled reports how many events have ever been scheduled (the running
+// sequence counter). Together with Dispatched it is the shard-count
+// invariant the sharded engine folds into its fingerprint.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// CompactStats reports how many compaction passes have run and how many
+// queue entries they scanned in total. Scanned work is amortized O(1) per
+// cancel: a pass only triggers once dead entries dominate, and it removes
+// all of them.
+func (e *Engine) CompactStats() (passes, scanned uint64) {
+	return e.compactions, e.compactScanned
+}
 
 func (e *Engine) newEvent() *event {
 	if n := len(e.free) - 1; n >= 0 {
@@ -194,6 +213,8 @@ func (e *Engine) Cancel(tm Timer) bool {
 // property. Ordering is preserved exactly: Less compares (when, seq) and
 // both survive compaction untouched.
 func (e *Engine) compact() {
+	e.compactions++
+	e.compactScanned += uint64(len(e.queue))
 	live := e.queue[:0]
 	for _, ev := range e.queue {
 		if ev.dead {
@@ -233,12 +254,21 @@ func (e *Engine) Step() bool {
 		if e.stopped || e.queue.Len() == 0 {
 			return false
 		}
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
+		if ev := e.queue[0]; ev.dead {
+			// Dead entries at the top are usually popped one at a time
+			// (O(log n) each), but when cancelled timers dominate the queue
+			// — mass hedging cancellations — one O(n) compaction replaces
+			// O(n) sift-downs.
+			if e.dead > 32 && e.dead*2 > len(e.queue) {
+				e.compact()
+				continue
+			}
+			heap.Pop(&e.queue)
 			e.dead--
 			e.recycle(ev)
 			continue
 		}
+		ev := heap.Pop(&e.queue).(*event)
 		if ev.when < e.now {
 			panic("sim: time went backwards")
 		}
@@ -262,27 +292,96 @@ func (e *Engine) Run() {
 
 // RunUntil dispatches events with time ≤ deadline, then sets the clock to
 // the deadline (if it is ahead) and returns. Events scheduled beyond the
-// deadline remain queued.
+// deadline remain queued. Dead entries beyond the deadline are left in
+// place for compaction to reclaim in bulk rather than popped one by one —
+// the windowed-execution hot loop peeks the top every window, and popping
+// far-future cancelled timers there was pure overhead.
 func (e *Engine) RunUntil(deadline Time) {
 	for {
 		if e.stopped || e.queue.Len() == 0 {
 			break
 		}
 		next := e.queue[0]
+		if next.when > deadline {
+			break
+		}
 		if next.dead {
+			if e.dead > 32 && e.dead*2 > len(e.queue) {
+				e.compact()
+				continue
+			}
 			heap.Pop(&e.queue)
 			e.dead--
 			e.recycle(next)
 			continue
-		}
-		if next.when > deadline {
-			break
 		}
 		e.Step()
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
 	}
+}
+
+// RunBefore dispatches events with time strictly < end without advancing
+// the clock to the boundary: the clock is left at the last dispatched
+// event. This is the shard-window primitive — the sharded engine runs every
+// shard to a window boundary, delivers cross-shard messages at the barrier,
+// and the messages (always ≥ one lookahead away) land exactly on or past
+// the boundary.
+func (e *Engine) RunBefore(end Time) {
+	for {
+		if e.stopped || e.queue.Len() == 0 {
+			return
+		}
+		next := e.queue[0]
+		if next.when >= end {
+			return
+		}
+		if next.dead {
+			if e.dead > 32 && e.dead*2 > len(e.queue) {
+				e.compact()
+				continue
+			}
+			heap.Pop(&e.queue)
+			e.dead--
+			e.recycle(next)
+			continue
+		}
+		e.Step()
+	}
+}
+
+// NextLive peeks the earliest live (non-cancelled) event time. Dead
+// entries at the top are discarded on the way (bulk-compacted when they
+// dominate), so repeated peeks stay cheap.
+func (e *Engine) NextLive() (Time, bool) {
+	for {
+		if e.stopped || e.queue.Len() == 0 {
+			return 0, false
+		}
+		next := e.queue[0]
+		if !next.dead {
+			return next.when, true
+		}
+		if e.dead > 32 && e.dead*2 > len(e.queue) {
+			e.compact()
+			continue
+		}
+		heap.Pop(&e.queue)
+		e.dead--
+		e.recycle(next)
+	}
+}
+
+// AdvanceClock moves the clock forward to t without dispatching anything;
+// events already queued before t must have been dispatched (the sharded
+// engine advances shard clocks to a common deadline after a window sweep).
+// Moving backwards panics.
+func (e *Engine) AdvanceClock(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceClock to %v before now %v", t, e.now))
+	}
+	e.now = t
 }
 
 // Fingerprint summarises the engine's dynamic history — current time,
