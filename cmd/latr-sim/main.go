@@ -21,6 +21,7 @@
 //
 //	latr-sim -litmus
 //	latr-sim -litmus -litmus-gen 200 -policies linux,latr
+//	latr-sim -litmus -litmus-virt-gen 50
 //	latr-sim -litmus -litmus-run reuse-after-shootdown -v
 //
 // Remote mode runs the §6.2 Infiniswap case study: a memcached-like KV
@@ -38,6 +39,13 @@
 //	latr-sim -cluster -duration 50ms
 //	latr-sim -cluster -policies latr -cluster-routers affinity -cluster-profiles flaky-fleet
 //	latr-sim -cluster -parallel 8 -seed 7
+//
+// Virt mode renders the virtualized two-level coherence table: the guest
+// munmap microbenchmark plus a host balloon under every nested policy
+// (linux, latr, guest-latr, host-latr, hatric) on both reference machines:
+//
+//	latr-sim -virt
+//	latr-sim -virt -quick -parallel 4
 package main
 
 import (
@@ -107,14 +115,22 @@ func main() {
 		clusterHdg  = flag.Duration("cluster-hedge", time.Millisecond, "cluster: hedge delay for a duplicate attempt (0 disables hedging)")
 		clusterSh   = flag.Int("cluster-shards", 0, "cluster: event-engine shards per cell (0 = sequential; results are byte-identical at any count)")
 
+		virtOn    = flag.Bool("virt", false, "run the virtualized two-level coherence table (guest munmap + host balloon per policy x machine) instead of a workload")
+		virtQuick = flag.Bool("quick", false, "virt: smaller runs, same shapes")
+
 		litmusOn   = flag.Bool("litmus", false, "run the litmus corpus through the differential oracle instead of a workload")
 		litmusGen  = flag.Int("litmus-gen", 0, "litmus: also run this many generated scenarios")
+		litmusVGen = flag.Int("litmus-virt-gen", 0, "litmus: also run this many generated two-level (guest/host) scenarios")
 		litmusSeed = flag.Uint64("litmus-seed", 1000, "litmus: first seed for generated scenarios")
 		litmusRun  = flag.String("litmus-run", "", "litmus: run only this named handwritten scenario")
 		litmusCh   = flag.String("litmus-chaos", "", "litmus: comma-separated chaos profiles to cross in (safety checks only)")
 		verbose    = flag.Bool("v", false, "litmus: print one line per run")
 	)
 	flag.Parse()
+
+	if *virtOn {
+		os.Exit(runVirt(*virtQuick, *seed, *parallel))
+	}
 
 	if *litmusOn {
 		// -machines defaults to "2x8" for matrix mode; litmus mode crosses
@@ -127,6 +143,7 @@ func main() {
 		})
 		os.Exit(runLitmus(litmusFlags{
 			gen:      *litmusGen,
+			virtGen:  *litmusVGen,
 			genSeed:  *litmusSeed,
 			only:     *litmusRun,
 			policies: *policies,
@@ -493,9 +510,26 @@ func runRemote(f remoteFlags) int {
 	return 0
 }
 
+// runVirt renders the virtualized two-level coherence table: the guest
+// munmap microbenchmark plus a host balloon under every virt policy on
+// both reference machines.
+func runVirt(quick bool, seed uint64, parallel int) int {
+	tbl, err := latr.RunExperiment("virt", latr.ExperimentOptions{
+		Quick:   quick,
+		Seed:    seed,
+		Workers: parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println(tbl)
+	return 0
+}
+
 // litmusFlags carries the -litmus mode configuration.
 type litmusFlags struct {
-	gen                             int
+	gen, virtGen                    int
 	genSeed, seed                   uint64
 	only, policies, machines, chaos string
 	parallel                        int
@@ -518,6 +552,9 @@ func runLitmus(f litmusFlags) int {
 	}
 	if f.gen > 0 {
 		scs = append(scs, latr.GenerateLitmus(f.genSeed, f.gen)...)
+	}
+	if f.virtGen > 0 {
+		scs = append(scs, latr.GenerateVirtLitmus(f.genSeed, f.virtGen)...)
 	}
 	rep := latr.RunLitmusSuite(scs, latr.LitmusSuiteConfig{
 		Policies: splitList(f.policies),

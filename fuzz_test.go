@@ -134,8 +134,11 @@ func TestDifferentialRandomStreams(t *testing.T) {
 // swap directive instead — the scenario then runs under memory pressure
 // with the remote-paging swapper, where eviction timing is policy-dependent
 // and only the safety properties (plus deterministic mapped post-conditions)
-// are checked. Either way the always-on audit mode means no coherence
-// invariant may break.
+// are checked. A quarter of the non-swap inputs instead draw the two-level
+// nesting: vCPU threads inside VM V1 with a host thread ballooning and
+// migrating it mid-churn — still under the exact oracle, since host-level
+// reclaim must be architecturally invisible to the guest. Either way the
+// always-on audit mode means no coherence invariant may break.
 func FuzzLitmusDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 3, 0, 0, 2, 0, 0, 1, 16, 0, 0, 4})
@@ -145,6 +148,11 @@ func FuzzLitmusDifferential(f *testing.F) {
 	// concurrently with eviction, remote refault, and Drop traffic.
 	f.Add([]byte{9, 2, 5, 0, 9, 3, 1, 14, 0, 4, 16, 7, 2, 200, 1, 6})
 	f.Add([]byte{17, 1, 0, 40, 9, 0, 5, 16, 0, 3, 8, 8, 8})
+	// Second byte ≡ 0 (mod 4) on a non-swap input turns on the two-level
+	// draw: guest vCPU threads plus a host thread ballooning and migrating
+	// VM V1 underneath them.
+	f.Add([]byte{0, 0, 0, 1, 16, 0, 0, 9, 0, 8, 1, 2, 50, 0, 12, 3})
+	f.Add([]byte{0, 4, 2, 3, 1, 0, 7, 1, 1, 5, 11, 2, 0, 3, 13, 0, 2, 16, 200, 1, 6, 0, 3, 24})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc := latr.LitmusFromBytes(data)
 		rep := latr.RunLitmusSuite([]*latr.LitmusScenario{sc}, latr.LitmusSuiteConfig{

@@ -194,6 +194,12 @@ func (p *Policy) Attach(k *kernel.Kernel) {
 // Name implements kernel.Policy.
 func (p *Policy) Name() string { return "latr" }
 
+// HostMode implements kernel.HostCoherent: when LATR runs virtualized, the
+// hypervisor applies the same lazy principle to EPT reclamation — reclaimed
+// backings park until a deferred tagged flush instead of a synchronous
+// quiesce of every vCPU.
+func (p *Policy) HostMode() kernel.HostMode { return kernel.HostLazy }
+
 // Config returns the active configuration.
 func (p *Policy) Config() Config { return p.cfg }
 

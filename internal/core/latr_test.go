@@ -7,6 +7,7 @@ import (
 	"latr/internal/kernel"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 )
 
@@ -78,7 +79,7 @@ func TestRemoteInvalidationAtNextTick(t *testing.T) {
 		func(*kernel.Thread) kernel.Op { return kernel.OpCompute{D: 10 * sim.Millisecond} },
 	))
 	k.Run(300 * sim.Microsecond)
-	if !k.Cores[1].TLB.Has(0, base) {
+	if !k.Cores[1].TLB.Has(tlb.Tag{}, base) {
 		t.Fatal("core 1 should still cache the page before its tick (lazy window)")
 	}
 	if pol.PendingStates() == 0 {
@@ -86,7 +87,7 @@ func TestRemoteInvalidationAtNextTick(t *testing.T) {
 	}
 	// After all cores tick (1ms + stagger) the state must be swept clean.
 	k.Run(3 * sim.Millisecond)
-	if k.Cores[1].TLB.Has(0, base) {
+	if k.Cores[1].TLB.Has(tlb.Tag{}, base) {
 		t.Fatal("stale entry survived the sweep")
 	}
 	if pol.PendingStates() != 0 {

@@ -7,6 +7,7 @@ import (
 	"latr/internal/kernel"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 )
 
@@ -79,7 +80,7 @@ func TestPCIDPreservesEntriesAcrossSwitch(t *testing.T) {
 	))
 	k.Run(350 * sim.Microsecond)
 	// B has run on core 0; A's entry must still be cached under A's PCID.
-	if !k.Cores[0].TLB.Has(pA.MM.PCID, base) {
+	if !k.Cores[0].TLB.Has(tlb.Tag{PCID: pA.MM.PCID}, base) {
 		t.Fatal("PCID mode lost entries across a context switch")
 	}
 	if pA.MM.PCID == pB.MM.PCID {
@@ -112,7 +113,7 @@ func TestPCIDMunmapInvalidatesUnderLATR(t *testing.T) {
 	// Run past sweeps and the reclaim delay: the invariant checker panics
 	// if a PCID-tagged stale entry survives into frame reuse.
 	k.Run(20 * sim.Millisecond)
-	if k.Cores[1].TLB.Has(p.MM.PCID, base) {
+	if k.Cores[1].TLB.Has(tlb.Tag{PCID: p.MM.PCID}, base) {
 		t.Fatal("stale PCID-tagged entry survived the sweeps")
 	}
 	if k.Metrics.Counter("latr.reclaimed") == 0 {
@@ -217,7 +218,7 @@ func TestHugeMunmapIsLazyUnderLATR(t *testing.T) {
 		t.Fatal("huge munmap used IPIs under LATR")
 	}
 	k.Run(10 * sim.Millisecond)
-	if k.Cores[1].TLB.HasHuge(0, base) {
+	if k.Cores[1].TLB.HasHuge(tlb.Tag{}, base) {
 		t.Fatal("remote huge entry survived the sweeps")
 	}
 	if got := k.Alloc.TotalInUse(); got != 0 {

@@ -168,6 +168,51 @@ type Model struct {
 	// RemoteFallbackPerPage is the disk-path cost paid when the remote
 	// frame pool is exhausted (Infiniswap falls back to local disk).
 	RemoteFallbackPerPage sim.Time
+
+	// --- Virtualization (anchors: Yan et al., "Hardware Translation
+	// Coherence for Virtualized Systems" — guest-initiated shootdowns trap
+	// to the hypervisor and fan out twice, putting VM exits on both the
+	// send and the receive side of every IPI; reported trap-and-fan-out
+	// overhead amplifies shootdown cost 2–4× under nested paging) ---
+
+	// VMExitRoundTrip is one guest→host→guest transition (VMCS state
+	// save/restore, exit-reason decode, world switch both ways). Yan et
+	// al. place the bare trap in the low-microsecond range.
+	VMExitRoundTrip sim.Time
+	// VMExitIPIInject is the hypervisor's cost to inject one virtual IPI
+	// into a target vCPU (posted-interrupt bookkeeping or emulated APIC
+	// write plus the target's entry work).
+	VMExitIPIInject sim.Time
+	// VMExitEOI is the target-side exit taken when the guest handler
+	// signals interrupt completion (EOI write trap).
+	VMExitEOI sim.Time
+	// EPTViolation is a nested-page fault: exit, EPT walk, backing-frame
+	// wiring, resume. Paid the first time a guest-physical page is touched
+	// after the host unbacked it (ballooning, migration) or never backed it.
+	EPTViolation sim.Time
+	// NestedWalkExtra is the added cost of a two-dimensional page walk
+	// over a native one: a guest walk references up to 24 memory locations
+	// against the native 4 (each guest level walks the EPT).
+	NestedWalkExtra sim.Time
+	// VPIDFlush is a tagged flush of one VPID's entries (INVVPID
+	// single-context), paid when the hypervisor quiesces a VM.
+	VPIDFlush sim.Time
+	// HostLazyReclaim is the host-LATR reclamation delay: reclaimed
+	// backings are parked and their frames freed only after this window,
+	// mirroring the guest-level 2 ms lazy-reclaim bound (§4.3) at the
+	// hypervisor level.
+	HostLazyReclaim sim.Time
+
+	// --- HATRIC-style hardware coherence (anchor: Yan et al. §5 — precise
+	// per-entry invalidation propagated over the coherence fabric, no
+	// interrupts and no VM exits on either side) ---
+
+	// HATRICInvalPerEntry is the target-side cost of absorbing one
+	// coherence-fabric invalidation message into the TLB.
+	HATRICInvalPerEntry sim.Time
+	// HATRICPropagation is the fabric latency for an invalidation batch to
+	// reach every sharer and be acknowledged.
+	HATRICPropagation sim.Time
 }
 
 // Default returns the calibrated model for a machine spec. A single set of
@@ -229,6 +274,17 @@ func Default(spec topo.Spec) Model {
 		RDMAPagePeriod:        700,
 		RemoteServePeriod:     500,
 		RemoteFallbackPerPage: 8 * sim.Microsecond,
+
+		VMExitRoundTrip: 1250,
+		VMExitIPIInject: 950,
+		VMExitEOI:       750,
+		EPTViolation:    1800,
+		NestedWalkExtra: 480,
+		VPIDFlush:       600,
+		HostLazyReclaim: 2 * sim.Millisecond,
+
+		HATRICInvalPerEntry: 60,
+		HATRICPropagation:   200,
 	}
 	if spec.Sockets > 2 {
 		// The E7-8870v2's bigger uncore and directory coherence slow both
@@ -241,6 +297,9 @@ func Default(spec topo.Spec) Model {
 		m.RDMAWriteLatency = 4500
 		m.RDMAReadLatency = 7500
 		m.RDMAPagePeriod = 900
+		// Coherence-fabric invalidations cross the directory on the bigger
+		// machine; propagation roughly doubles.
+		m.HATRICPropagation = 400
 	}
 	return m
 }

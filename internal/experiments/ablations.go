@@ -305,6 +305,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return AblationTHP(o), nil
 	case "cluster":
 		return Cluster(o), nil
+	case "virt":
+		return Virt(o), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -324,6 +326,6 @@ func PaperIDs() []string {
 func IDs() []string {
 	return append(PaperIDs(),
 		"abl-depth", "abl-sweep", "abl-delay", "abl-transport", "abl-variants",
-		"abl-thp", "cluster",
+		"abl-thp", "cluster", "virt",
 	)
 }

@@ -172,6 +172,38 @@ func TestAblationQueueDepthFallbacks(t *testing.T) {
 	}
 }
 
+// TestVirtTableShape pins the virtualized table's headline claims: the
+// trap-and-fan-out exit count is exactly 2N+1 per munmap under linux,
+// guest-latr removes every exit, host-latr's balloon undercuts linux's
+// synchronous quiesce, and no cell leaks a frame.
+func TestVirtTableShape(t *testing.T) {
+	tb := Virt(Options{Quick: true, Seed: 1, Workers: -1})
+	cell := map[[2]string][]string{}
+	for _, row := range tb.Rows {
+		cell[[2]string{row[0], row[1]}] = row
+	}
+	if len(cell) != 10 {
+		t.Fatalf("virt table has %d distinct cells, want 10", len(cell))
+	}
+	for mach, cores := range map[string]float64{"2x8": 16, "8x15": 120} {
+		lin := cell[[2]string{"linux", mach}]
+		if got, want := num(t, lin[4]), 2*(cores-1)+1; got != want {
+			t.Errorf("%s linux exits/op = %v, want %v (2N+1)", mach, got, want)
+		}
+		if got := num(t, cell[[2]string{"guest-latr", mach}][4]); got != 0 {
+			t.Errorf("%s guest-latr exits/op = %v, want 0", mach, got)
+		}
+		if hl, ln := num(t, cell[[2]string{"host-latr", mach}][6]), num(t, lin[6]); hl >= ln {
+			t.Errorf("%s host-latr balloon %vus not below linux's %vus", mach, hl, ln)
+		}
+	}
+	for key, row := range cell {
+		if row[7] != "0" {
+			t.Errorf("%v leaked %s adjusted frames", key, row[7])
+		}
+	}
+}
+
 func TestByIDAndIDsAgree(t *testing.T) {
 	for _, id := range IDs() {
 		switch id {
@@ -185,7 +217,7 @@ func TestByIDAndIDsAgree(t *testing.T) {
 	if _, err := ByID("bogus", quick); err == nil {
 		t.Error("ByID accepted bogus id")
 	}
-	if len(IDs()) != 22 {
+	if len(IDs()) != 23 {
 		t.Errorf("IDs() = %d entries", len(IDs()))
 	}
 	if len(PaperIDs()) != 15 {
@@ -194,7 +226,7 @@ func TestByIDAndIDsAgree(t *testing.T) {
 }
 
 func TestNewPolicyNames(t *testing.T) {
-	for _, name := range PolicyNames() {
+	for _, name := range append(PolicyNames(), VirtPolicyNames()...) {
 		p, err := NewPolicy(name)
 		if err != nil || p.Name() != name {
 			t.Errorf("NewPolicy(%s) = %v, %v", name, p, err)

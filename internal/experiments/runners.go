@@ -63,6 +63,13 @@ func PolicyNames() []string {
 	return []string{"linux", "latr", "abis", "barrelfish", "instant"}
 }
 
+// VirtPolicyNames lists the policies the virtualized two-level table
+// sweeps: the two bare-metal references plus the three policies that
+// differ only in who keeps the EPT level coherent.
+func VirtPolicyNames() []string {
+	return []string{"linux", "latr", "guest-latr", "host-latr", "hatric"}
+}
+
 // NewPolicy builds a fresh policy instance by name.
 func NewPolicy(name string) (kernel.Policy, error) {
 	switch name {
@@ -76,6 +83,12 @@ func NewPolicy(name string) (kernel.Policy, error) {
 		return shootdown.NewBarrelfish(), nil
 	case "instant":
 		return kernel.NewInstantPolicy(), nil
+	case "guest-latr":
+		return shootdown.NewGuestLATR(latrcore.Config{}), nil
+	case "host-latr":
+		return shootdown.NewHostLATR(), nil
+	case "hatric":
+		return shootdown.NewHATRIC(), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown policy %q (have %v)", name, PolicyNames())
 	}

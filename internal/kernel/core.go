@@ -213,7 +213,7 @@ func (c *Core) SetSpan(sp *obs.Span) { c.span = sp }
 
 // PCIDOf returns the TLB tag used for mm on this core under the current
 // kernel options.
-func (c *Core) PCIDOf(mm *MM) tlb.PCID { return c.pcid(mm) }
+func (c *Core) PCIDOf(mm *MM) tlb.Tag { return c.pcid(mm) }
 
 // Idle reports whether no thread is currently scheduled on the core.
 func (c *Core) Idle() bool { return c.idle() }
@@ -238,12 +238,19 @@ func (c *Core) setMM(mm *MM) {
 		return
 	}
 	if !k.Opts.UsePCID {
-		// Without PCIDs a context switch to a new mm flushes everything —
-		// but, like Linux, the old mm keeps this core in its cpumask (only
-		// a later shootdown IPI observing the mismatch clears it, the
+		// Without PCIDs a context switch to a new mm flushes the incoming
+		// mm's virtualization context — on bare metal that is everything;
+		// once VMs exist, only the target VPID's entries go, VT-x style,
+		// so host↔guest transitions keep foreign-context entries warm.
+		// Like Linux, the old mm keeps this core in its cpumask (only a
+		// later shootdown IPI observing the mismatch clears it, the
 		// leave_mm path). Those stale bits are why Apache-style workloads
 		// broadcast IPIs to cores that hold no relevant entries.
-		c.TLB.FlushAll()
+		if k.virtUsed {
+			c.TLB.FlushVPID(vpidOf(mm))
+		} else {
+			c.TLB.FlushAll()
+		}
 	}
 	c.curMM = mm
 	c.lazyTLB = false
@@ -265,10 +272,34 @@ func (c *Core) flushAllTLB() {
 	}
 }
 
-// pcid returns the TLB tag for mm under the current options.
-func (c *Core) pcid(mm *MM) tlb.PCID {
+// pcid returns the TLB tag for mm under the current options. Guest address
+// spaces always carry their VM's VPID; the PCID half follows UsePCID.
+func (c *Core) pcid(mm *MM) tlb.Tag {
+	tag := tlb.Tag{VPID: vpidOf(mm)}
 	if c.k.Opts.UsePCID {
-		return mm.PCID
+		tag.PCID = mm.PCID
 	}
-	return 0
+	return tag
+}
+
+// vpidOf returns the VPID tagging mm's TLB entries: the owning VM's for
+// guest address spaces, 0 (host) otherwise. nil maps to host so idle
+// dispatch works unchanged.
+func vpidOf(mm *MM) tlb.VPID {
+	if mm == nil || mm.VM == nil {
+		return 0
+	}
+	return mm.VM.VPID
+}
+
+// flushMM is a "full flush" scoped to mm's virtualization context: on bare
+// metal a CR3 write flushes everything, while a guest's full flush only
+// reaches its own VPID's entries (a guest cannot invalidate host or
+// sibling-VM translations).
+func (c *Core) flushMM(mm *MM) {
+	if mm == nil || mm.VM == nil {
+		c.TLB.FlushAll()
+		return
+	}
+	c.TLB.FlushVPID(mm.VM.VPID)
 }

@@ -93,9 +93,17 @@ func (c *Core) handleFault(th *Thread, vpn pt.VPN, write bool, e pt.Entry, cont 
 		// Re-check under the lock: another thread may have mapped it while
 		// we waited.
 		if e2, ok := mm.PT.Get(vpn); ok && !e2.NUMAHint {
-			c.TLB.Insert(c.pcid(mm), vpn, e2.PFN, e2.Writable)
+			hpfn, extra, err := c.framePhys(mm, e2.PFN)
+			if err != nil {
+				th.LastErr = err
+				th.LastFault++
+				mm.Sem.ReleaseRead()
+				cont()
+				return
+			}
+			c.TLB.Insert(c.pcid(mm), vpn, hpfn, e2.Writable)
 			hook := k.policy.OnPageTouch(c, mm, vpn)
-			c.busy(hook, false, func() {
+			c.busy(hook+extra, false, func() {
 				mm.Sem.ReleaseRead()
 				cont()
 			})
@@ -111,8 +119,9 @@ func (c *Core) handleFault(th *Thread, vpn pt.VPN, write bool, e pt.Entry, cont 
 			cont()
 			return
 		}
-		// First touch: allocate on the faulting core's node.
-		pfn, err := k.allocFrame(k.Spec.NodeOf(c.ID))
+		// First touch: allocate on the faulting core's node (a guest-frame
+		// allocation, backed through the EPT, for guest address spaces).
+		pfn, err := k.allocFrameFor(mm, k.Spec.NodeOf(c.ID))
 		if err != nil {
 			th.LastErr = err
 			th.LastFault++
@@ -124,17 +133,25 @@ func (c *Core) handleFault(th *Thread, vpn pt.VPN, write bool, e pt.Entry, cont 
 			// Mapping a page the re-check just said was absent failed: an
 			// inconsistency between the page table and the VA space. Fail
 			// the access structurally and return the unused frame.
-			k.Alloc.Put(pfn)
+			k.putFrame(mm, pfn)
 			th.LastErr = c.internalErr("fault.map", err)
 			th.LastFault++
 			mm.Sem.ReleaseRead()
 			cont()
 			return
 		}
-		c.TLB.Insert(c.pcid(mm), vpn, pfn, vma.Writable)
+		hpfn, extra, err := c.framePhys(mm, pfn)
+		if err != nil {
+			th.LastErr = err
+			th.LastFault++
+			mm.Sem.ReleaseRead()
+			cont()
+			return
+		}
+		c.TLB.Insert(c.pcid(mm), vpn, hpfn, vma.Writable)
 		k.Metrics.Inc("fault.demand", 1)
 		hook := k.policy.OnPageTouch(c, mm, vpn)
-		c.busy(k.Cost.MmapSetupPerPage+hook, false, func() {
+		c.busy(k.Cost.MmapSetupPerPage+hook+extra, false, func() {
 			mm.Sem.ReleaseRead()
 			cont()
 		})

@@ -36,6 +36,12 @@ func (c *Core) doFork(th *Thread) {
 	parent := th.Proc
 	mm := parent.MM
 
+	if mm.VM != nil {
+		// Fork inside a guest would need CoW refcounting across both paging
+		// levels; the model keeps guest address spaces fork-free.
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
 	mm.Sem.AcquireWrite(c, th, func() {
 		child := k.NewProcess()
 		cmm := child.MM
@@ -132,16 +138,25 @@ func (c *Core) breakCoW(th *Thread, vpn pt.VPN, cont func()) {
 			cont()
 			return
 		}
-		if k.Alloc.Refs(e.PFN) == 1 {
-			// Sole owner already (the other side broke its copy): reuse the
-			// frame, upgrading protection in place. Stale read-only entries
-			// elsewhere stay correct for reads and upgrade on their own
-			// faults.
+		if mm.VM != nil || k.Alloc.Refs(e.PFN) == 1 {
+			// Sole owner already (the other side broke its copy) — or a guest
+			// frame, which is never CoW-shared since fork is host-only: reuse
+			// the frame, upgrading protection in place. Stale read-only
+			// entries elsewhere stay correct for reads and upgrade on their
+			// own faults.
+			hpfn, extra, err := c.framePhys(mm, e.PFN)
+			if err != nil {
+				th.LastErr = err
+				th.LastFault++
+				mm.Sem.ReleaseRead()
+				cont()
+				return
+			}
 			mm.PT.SetProtection(vpn, true)
 			c.TLB.Invalidate(c.pcid(mm), vpn)
-			c.TLB.Insert(c.pcid(mm), vpn, e.PFN, true)
+			c.TLB.Insert(c.pcid(mm), vpn, hpfn, true)
 			k.Metrics.Inc("fault.cow_reuse", 1)
-			c.busy(m.PTEClearPerPage+m.InvlpgLocal, false, func() {
+			c.busy(m.PTEClearPerPage+m.InvlpgLocal+extra, false, func() {
 				mm.Sem.ReleaseRead()
 				cont()
 			})
@@ -208,13 +223,13 @@ func (k *Kernel) ReleaseAddressSpace(c *Core, th *Thread, p *Process, done func(
 					continue
 				}
 				if old, ok := mm.PT.Unmap(vpn); ok {
-					frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN})
+					frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN, vm: mm.VM})
 				}
 			}
 			mm.Space.RemoveRange(v.Start, v.End)
 			k.notifySwapUnmap(mm, v.Start, int(v.End-v.Start))
 		}
-		c.TLB.FlushAll()
+		c.flushMM(mm)
 		// Pages past the full-flush threshold make every policy (IPI
 		// handler or LATR sweep) fully flush the remote TLBs, covering all
 		// of the torn-down ranges with one state/IPI.

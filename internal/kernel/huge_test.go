@@ -5,6 +5,7 @@ import (
 
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 )
 
 func TestMmapHugeRequiresAlignmentAndPopulate(t *testing.T) {
@@ -102,7 +103,7 @@ func TestHugeShootdownInvalidatesRemoteHugeEntry(t *testing.T) {
 		func(*Thread) Op { return OpCompute{D: 2 * sim.Millisecond} },
 	}})
 	run(k, 500*sim.Microsecond)
-	if k.Cores[1].TLB.HasHuge(0, base) {
+	if k.Cores[1].TLB.HasHuge(tlb.Tag{}, base) {
 		t.Fatal("remote huge entry survived the shootdown")
 	}
 	// Invariant checker (on) proves no premature reuse happened.

@@ -75,6 +75,15 @@ type Kernel struct {
 	nextTID  int
 	nextPCID tlb.PCID
 
+	// Virtualization state (see virt.go). virtUsed gates the VPID-scoped
+	// context-switch flush so bare-metal runs keep the exact legacy
+	// full-flush behaviour.
+	vms       []*VM
+	nextVMID  int
+	nextVPID  tlb.VPID
+	freeVPIDs []tlb.VPID
+	virtUsed  bool
+
 	numa     NUMAHandler
 	swap     SwapHandler
 	injector FaultInjector
@@ -146,6 +155,12 @@ type MM struct {
 	PT    *pt.PageTable
 	Space *vm.Space
 	Sem   *RWSem
+
+	// VM is non-nil for guest address spaces: the process runs inside that
+	// virtual machine, its page table maps guest-virtual to guest-physical
+	// frames, and every frame reference must be translated through the
+	// VM's EPT before touching host memory.
+	VM *VM
 
 	// CPUMask tracks cores currently running (or lazily holding) this mm —
 	// the shootdown target set (§4.1 "State update").

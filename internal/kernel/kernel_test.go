@@ -6,6 +6,7 @@ import (
 	"latr/internal/cost"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 )
 
@@ -241,8 +242,8 @@ func TestSendShootdownIPIs(t *testing.T) {
 	p := k.NewProcess()
 	mm := p.MM
 	// Put stale entries on cores 1 and 2.
-	k.Cores[1].TLB.Insert(0, 100, 1000, true)
-	k.Cores[2].TLB.Insert(0, 100, 1000, true)
+	k.Cores[1].TLB.Insert(tlb.Tag{}, 100, 1000, true)
+	k.Cores[2].TLB.Insert(tlb.Tag{}, 100, 1000, true)
 	var doneAt sim.Time
 	k.Engine.At(0, func(sim.Time) {
 		targets := []*Core{k.Cores[1], k.Cores[2]}
@@ -252,7 +253,7 @@ func TestSendShootdownIPIs(t *testing.T) {
 	if doneAt == 0 {
 		t.Fatal("shootdown never completed")
 	}
-	if k.Cores[1].TLB.Has(0, 100) || k.Cores[2].TLB.Has(0, 100) {
+	if k.Cores[1].TLB.Has(tlb.Tag{}, 100) || k.Cores[2].TLB.Has(tlb.Tag{}, 100) {
 		t.Fatal("remote entries survived the shootdown")
 	}
 	// Lower bound: send costs + 1-hop delivery (core 2 is cross-socket) +
@@ -269,7 +270,7 @@ func TestSendShootdownIPIs(t *testing.T) {
 func TestShootdownFullFlushOverThreshold(t *testing.T) {
 	k := testKernel()
 	p := k.NewProcess()
-	k.Cores[1].TLB.Insert(0, 5000, 77, true) // unrelated entry
+	k.Cores[1].TLB.Insert(tlb.Tag{}, 5000, 77, true) // unrelated entry
 	k.Engine.At(0, func(sim.Time) {
 		k.SendShootdownIPIs(k.Cores[0], p.MM, 0, 64, []*Core{k.Cores[1]}, func() {})
 	})

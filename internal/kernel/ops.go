@@ -208,9 +208,11 @@ func (c *Core) touchPages(th *Thread, pages []pt.VPN, write bool, accesses int, 
 		if line, hit := c.TLB.Lookup(pcid, vpn); hit && (!write || line.Writable) {
 			acc += m.TLBHit + sim.Time(accesses)*c.dramCost(myNode, line.PFN)
 			// Detect accesses through stale entries (the §4.4 races): the
-			// TLB permitted an access the page table no longer backs.
+			// TLB permitted an access the page table no longer backs. For
+			// guest address spaces the cached entry is the combined
+			// translation, so the comparison goes through both levels.
 			if k.Tracker != nil {
-				if e, ok := mm.PT.Get(vpn); !ok || e.PFN != line.PFN {
+				if e, ok := mm.PT.Get(vpn); !ok || !c.backsLine(mm, e.PFN, line.PFN) {
 					if write {
 						k.Metrics.Inc("race.stale_write", 1)
 					} else {
@@ -239,18 +241,29 @@ func (c *Core) touchPages(th *Thread, pages []pt.VPN, write bool, accesses int, 
 			}
 			continue
 		}
-		// TLB miss: hardware walk (huge-aware).
+		// TLB miss: hardware walk (huge-aware; two-dimensional for guests,
+		// which may take an EPT violation to re-back a reclaimed frame).
 		acc += m.PTWalk
 		e, huge, ok := mm.PT.WalkAny(vpn, write)
 		if ok {
+			hpfn, extra, err := c.framePhys(mm, e.PFN)
+			acc += extra
+			if err != nil {
+				// Host memory exhausted while re-backing: the access cannot
+				// complete. Surfaced like an allocation failure on the
+				// demand-paging path.
+				th.LastErr = err
+				th.LastFault++
+				continue
+			}
 			if huge {
-				base := e.PFN - mem.PFN(vpn-pt.HugeBase(vpn))
+				base := hpfn - mem.PFN(vpn-pt.HugeBase(vpn))
 				c.TLB.InsertHuge(pcid, pt.HugeBase(vpn), base, e.Writable)
 			} else {
-				c.TLB.Insert(pcid, vpn, e.PFN, e.Writable)
+				c.TLB.Insert(pcid, vpn, hpfn, e.Writable)
 			}
 			acc += k.policy.OnPageTouch(c, mm, vpn)
-			acc += sim.Time(accesses) * c.dramCost(myNode, e.PFN)
+			acc += sim.Time(accesses) * c.dramCost(myNode, hpfn)
 			continue
 		}
 		// Fault. Pay the accumulated access cost plus fault entry, then

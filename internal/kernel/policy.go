@@ -15,6 +15,11 @@ import (
 type FrameRef struct {
 	VPN pt.VPN
 	PFN mem.PFN
+	// vm routes the eventual free: nil frames return to the host
+	// allocator, guest frames to their VM's guest-physical pool (the EPT
+	// backing stays in place for reuse). Set by the kernel when it builds
+	// the unmap; policies pass FrameRefs through opaquely.
+	vm *VM
 }
 
 // Unmap describes one address-range unmap needing TLB coherence.
@@ -90,6 +95,10 @@ type Attacher interface {
 // zero and gets reallocated.
 func (k *Kernel) ReleaseFrames(frames []FrameRef) {
 	for _, f := range frames {
+		if f.vm != nil {
+			f.vm.GPhys.Put(f.PFN)
+			continue
+		}
 		k.Alloc.Put(f.PFN)
 	}
 }
@@ -175,7 +184,15 @@ func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, tar
 	k.Metrics.Inc("shootdown.ipi", 1)
 	k.Metrics.Inc("shootdown.ipi_targets", uint64(len(targets)))
 
+	// Yan et al.'s trap-and-fan-out amplification: a guest-initiated
+	// shootdown exits to the hypervisor (one round trip), and every IPI is
+	// injected as a virtual interrupt rather than written to the APIC.
+	virt := mm.VM != nil
 	sendCost := m.IPISendBase
+	if virt {
+		sendCost += m.VMExitRoundTrip
+		k.Metrics.Inc("virt.vm_exits", 1)
+	}
 	type delivery struct {
 		core *Core
 		at   sim.Time
@@ -184,6 +201,10 @@ func (k *Kernel) SendShootdownIPIs(c *Core, mm *MM, start pt.VPN, pages int, tar
 	for _, t := range targets {
 		hops := k.Spec.Hops(c.ID, t.ID)
 		sendCost += m.IPISend(hops)
+		if virt {
+			sendCost += m.VMExitIPIInject
+			k.Metrics.Inc("virt.vm_exits", 1)
+		}
 		// Chaos can stretch individual deliveries (interconnect congestion,
 		// slow APIC): the ACK spin-wait below absorbs the extra latency.
 		deliveries = append(deliveries, delivery{t, k.Now() + sendCost + m.IPIDeliverLatency(hops) + k.chaosIPIDelay(c.ID, t.ID)})
@@ -254,7 +275,7 @@ func (k *Kernel) deliverShootdownIPI(t *Core, mm *MM, start pt.VPN, pages int, s
 	handler := func(now sim.Time) sim.Time {
 		var inval sim.Time
 		if pages <= 0 || pages > m.FullFlushThreshold {
-			t.TLB.FlushAll()
+			t.flushMM(mm)
 			inval = m.TLBFullFlush
 		} else {
 			t.TLB.InvalidateRange(t.pcid(mm), start, start+pt.VPN(pages))
@@ -263,12 +284,23 @@ func (k *Kernel) deliverShootdownIPI(t *Core, mm *MM, start pt.VPN, pages int, s
 		if !k.Opts.UsePCID && t.curMM != mm {
 			// leave_mm: the core is running another address space, so its
 			// switch-time flush already killed mm's entries; drop the
-			// stale cpumask bit so future shootdowns skip this core.
+			// stale cpumask bit so future shootdowns skip this core. Once
+			// VMs exist the switch-time flush is VPID-scoped and need not
+			// have covered mm, so leave_mm flushes mm's context explicitly
+			// before dropping the bit.
+			if k.virtUsed {
+				t.flushMM(mm)
+			}
 			mm.CPUMask.Clear(t.ID)
 			delete(t.maskedMMs, mm)
 			k.Metrics.Inc("ipi.leave_mm", 1)
 		}
 		total := m.IPIHandlerEntry + inval + m.IPIAckWrite
+		if mm.VM != nil {
+			// The guest handler's EOI write traps to the hypervisor.
+			total += m.VMExitEOI
+			k.Metrics.Inc("virt.vm_exits", 1)
+		}
 		k.Metrics.Inc("ipi.handled", 1)
 		k.Metrics.Observe("ipi.handler", total)
 		if sp != nil {

@@ -50,6 +50,12 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 		c.failSyscall(th, ErrBadArg)
 		return
 	}
+	if o.Huge && mm.VM != nil {
+		// Guest huge mappings would need PMD-level EPT backing; out of
+		// scope for the two-level model.
+		c.failSyscall(th, ErrBadArg)
+		return
+	}
 	mm.Sem.AcquireWrite(c, th, func() {
 		var start pt.VPN
 		var err error
@@ -96,7 +102,7 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 			k.Metrics.Inc("sys.mmap_huge", 1)
 		case o.Populate:
 			for i := 0; i < o.Pages; i++ {
-				pfn, err := k.allocFrame(node)
+				pfn, err := k.allocFrameFor(mm, node)
 				if err != nil {
 					mm.Sem.ReleaseWrite()
 					c.failSyscall(th, err)
@@ -164,16 +170,17 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 				}
 			}
 			if old, ok := mm.PT.Unmap(vpn); ok {
-				frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN})
+				frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN, vm: mm.VM})
 			}
 		}
 		// A huge mapping clears one PMD entry, not 512 PTEs.
 		pteEntries := pages - hugeEntries*(pt.HugePages-1)
 		// Local invalidation, mirroring the remote rule: full flush past
-		// the 33-page threshold.
+		// the 33-page threshold (scoped to the mm's VPID — a guest's full
+		// flush cannot reach host or sibling-VM entries).
 		pcid := c.pcid(mm)
 		if pages > m.FullFlushThreshold {
-			c.TLB.FlushAll()
+			c.flushMM(mm)
 		} else {
 			c.TLB.InvalidateRange(pcid, addr, addr+pt.VPN(pages))
 		}
@@ -186,6 +193,9 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 			kind = obs.KindMadvise
 		}
 		sp := k.Spans.Begin(kind, c.ID, addr, pages, t0)
+		if mm.VM != nil {
+			sp.SetLevel(1)
+		}
 		tB := k.Now()
 		// The PTE/TLB phase runs with the page-table lock held and
 		// interrupts off; incoming shootdown IPIs queue behind it.
@@ -245,12 +255,15 @@ func (c *Core) doMprotect(th *Thread, o OpMprotect) {
 		}
 		pcid := c.pcid(mm)
 		if o.Pages > m.FullFlushThreshold {
-			c.TLB.FlushAll()
+			c.flushMM(mm)
 		} else {
 			c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
 		}
 		cost := m.SyscallEntry + m.VMAOp + sim.Time(o.Pages)*m.PTEClearPerPage + m.InvalidateCost(o.Pages)
 		sp := k.Spans.Begin(obs.KindSync, c.ID, o.Addr, o.Pages, t0)
+		if mm.VM != nil {
+			sp.SetLevel(1)
+		}
 		tB := k.Now()
 		c.busy(cost, true, func() {
 			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)
@@ -312,6 +325,9 @@ func (c *Core) doMremap(th *Thread, o OpMremap) {
 		c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
 		cost := m.SyscallEntry + 2*m.VMAOp + sim.Time(moved)*(m.PTEClearPerPage+m.MmapSetupPerPage) + m.InvalidateCost(o.Pages)
 		sp := k.Spans.Begin(obs.KindSync, c.ID, o.Addr, o.Pages, k.Now())
+		if mm.VM != nil {
+			sp.SetLevel(1)
+		}
 		tB := k.Now()
 		c.busy(cost, true, func() {
 			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)

@@ -11,7 +11,7 @@ import (
 // on any region is program order and the reference model's prediction is
 // interleaving-independent (coherence traffic is still shared: all threads
 // live in one process, so every munmap/mprotect shoots down every sibling
-// core). That is what lets 200 seeds × 4 policies × 2 topologies assert
+// core). That is what lets 200 seeds × every policy × 2 topologies assert
 // byte-identical region-relative outcomes rather than mere crash-freedom.
 //
 // Ops are drawn within region bounds, so scenarios always Validate; they
@@ -45,6 +45,66 @@ func GenerateMany(seed uint64, count int) []*Scenario {
 	out := make([]*Scenario, count)
 	for i := range out {
 		out[i] = Generate(seed + uint64(i))
+	}
+	return out
+}
+
+// GenerateVirt builds the deterministic two-level scenario for one seed:
+// one or two VMs whose vCPU threads run the same race-free region grammar
+// as the flat generator, plus a host thread firing balloons and migrations
+// into them at random times. No phasing is needed — ballooning and
+// migration are architecturally invisible (re-backing happens through EPT
+// violations, never guest faults), so the exact oracle applies however the
+// host mischief interleaves with guest churn. vmdestroy is deliberately
+// never drawn: destroy succeeds only after a VM's last guest thread exits,
+// which would reintroduce the timing dependence the ownership discipline
+// exists to exclude.
+func GenerateVirt(seed uint64) *Scenario {
+	r := sim.NewRand(seed ^ 0x7f4a7c159e3779b9)
+	sc := &Scenario{Name: fmt.Sprintf("genv-%016x", seed)}
+
+	nVMs := 1 + r.Intn(2)
+	cores := r.Perm(16)
+	ci := 0
+	for vi := 1; vi <= nVMs; vi++ {
+		vm := fmt.Sprintf("V%d", vi)
+		for g, n := 0, 1+r.Intn(2); g < n; g++ {
+			t := Thread{Core: cores[ci], VM: vm}
+			ci++
+			for ri, nr := 0, 1+r.Intn(2); ri < nr; ri++ {
+				label := fmt.Sprintf("V%dT%dR%d", vi, g, ri)
+				t.Ops = append(t.Ops, genRegionLife(r, label)...)
+			}
+			sc.Threads = append(sc.Threads, t)
+		}
+	}
+	host := Thread{Core: cores[ci]}
+	if r.Intn(2) == 0 {
+		// Host-native churn alongside the guests.
+		host.Ops = genRegionLife(r, "HR0")
+	}
+	for n := 1 + r.Intn(3); n > 0; n-- {
+		host.Ops = append(host.Ops, Op{Kind: OpSleep, Dur: r.Duration(100*sim.Microsecond, 2*sim.Millisecond)})
+		vm := fmt.Sprintf("V%d", 1+r.Intn(nVMs))
+		if r.Intn(4) == 0 {
+			host.Ops = append(host.Ops, Op{Kind: OpVMMigrate, VM: vm})
+		} else {
+			host.Ops = append(host.Ops, Op{Kind: OpBalloon, VM: vm, Pages: 1 + r.Intn(24)})
+		}
+	}
+	sc.Threads = append(sc.Threads, host)
+	if err := sc.Validate(); err != nil {
+		panic(fmt.Sprintf("litmus: virt generator produced invalid scenario: %v", err))
+	}
+	return sc
+}
+
+// GenerateManyVirt builds count virtualized scenarios from consecutive
+// seeds.
+func GenerateManyVirt(seed uint64, count int) []*Scenario {
+	out := make([]*Scenario, count)
+	for i := range out {
+		out[i] = GenerateVirt(seed + uint64(i))
 	}
 	return out
 }
@@ -95,20 +155,45 @@ func (c *byteChooser) Duration(lo, hi sim.Time) sim.Time {
 // swapper and the safety-only oracle: a dedicated pressure thread maps a
 // working set past the shrunken node memory so the fuzzer actually drives
 // evictions, remote swap-ins, and Drop paths concurrent with the generated
-// address-space churn.
+// address-space churn. Non-swap inputs may instead draw the two-level
+// nesting: some generated threads become vCPUs of VM V1 and a host thread
+// fires balloons and migrations into the guest mid-churn, with the exact
+// oracle still in force.
 func FromBytes(data []byte) *Scenario {
 	c := &byteChooser{data: data}
 	sc := &Scenario{Name: "from-bytes"}
 	sc.Swap = c.Intn(8) == 1
+	// Second draw: roughly a quarter of non-swap inputs go two-level. The
+	// first thread becomes VM V1's vCPU (later threads draw guest/host per
+	// thread) and a host mischief thread balloons and migrates V1 while the
+	// generated churn runs — still under the exact oracle, since host-level
+	// reclaim is architecturally invisible to the guest.
+	virt := !sc.Swap && c.Intn(4) == 0
 	nThreads := 1 + c.Intn(3)
 	for ti := 0; ti < nThreads; ti++ {
 		t := Thread{Core: (ti * 5) % 16}
+		if virt && (ti == 0 || c.Intn(2) == 0) {
+			t.VM = "V1"
+		}
 		nRegions := 1 + c.Intn(2)
 		for ri := 0; ri < nRegions; ri++ {
 			label := fmt.Sprintf("T%dR%d", ti, ri)
 			t.Ops = append(t.Ops, genRegionLife(c, label)...)
 		}
 		sc.Threads = append(sc.Threads, t)
+	}
+	if virt {
+		host := Thread{Core: 2}
+		for n := 1 + c.Intn(3); n > 0; n-- {
+			host.Ops = append(host.Ops,
+				Op{Kind: OpSleep, Dur: c.Duration(50*sim.Microsecond, sim.Millisecond)})
+			if c.Intn(4) == 0 {
+				host.Ops = append(host.Ops, Op{Kind: OpVMMigrate, VM: "V1"})
+			} else {
+				host.Ops = append(host.Ops, Op{Kind: OpBalloon, VM: "V1", Pages: 1 + c.Intn(24)})
+			}
+		}
+		sc.Threads = append(sc.Threads, host)
 	}
 	if sc.Swap {
 		sc.Threads = append(sc.Threads, Thread{Core: 3, Ops: []Op{

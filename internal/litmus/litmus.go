@@ -27,6 +27,7 @@ package litmus
 
 import (
 	"fmt"
+	"sort"
 
 	"latr/internal/sim"
 )
@@ -36,19 +37,23 @@ type OpKind uint8
 
 // Litmus op kinds. The compact text form for each is shown in the comment.
 const (
-	OpInvalid  OpKind = iota
-	OpMmap            // mmap <region> <pages> [pop] [ro] [huge]
-	OpMunmap          // munmap <region> [<off> <pages>] [sync]
-	OpMadvise         // madvise <region> <off> <pages>
-	OpMprotect        // mprotect <region> <off> <pages> ro|rw
-	OpMremap          // mremap <region>
-	OpTouch           // read|write <region> <off> <pages>
-	OpCompute         // compute <dur>
-	OpSleep           // sleep <dur>
-	OpYield           // yield
-	OpFork            // fork <proc>
-	OpWait            // wait <region> — block until the region exists
-	OpExit            // exit — tear down the calling process's address space
+	OpInvalid   OpKind = iota
+	OpMmap             // mmap <region> <pages> [pop] [ro] [huge]
+	OpMunmap           // munmap <region> [<off> <pages>] [sync]
+	OpMadvise          // madvise <region> <off> <pages>
+	OpMprotect         // mprotect <region> <off> <pages> ro|rw
+	OpMremap           // mremap <region>
+	OpTouch            // read|write <region> <off> <pages>
+	OpCompute          // compute <dur>
+	OpSleep            // sleep <dur>
+	OpYield            // yield
+	OpFork             // fork <proc>
+	OpWait             // wait <region> — block until the region exists
+	OpExit             // exit — tear down the calling process's address space
+	OpVMStart          // vmstart <vm> [<frames>] — create the VM (host-side)
+	OpBalloon          // balloon <vm> <pages> — hypervisor reclaims n backings
+	OpVMMigrate        // vmmigrate <vm> — quiesce, copy out, drop all backings
+	OpVMDestroy        // vmdestroy <vm> — tear the VM down (guests must be done)
 )
 
 // Op is one litmus operation. Regions are symbolic: the mmap that creates a
@@ -68,14 +73,23 @@ type Op struct {
 	Sync     bool     // munmap: ForceSync (§7 opt-out)
 	Dur      sim.Time // compute/sleep duration
 	Proc     string   // fork: child process label
+	VM       string   // vmstart/balloon/vmmigrate/vmdestroy: target VM label
 }
 
 // Thread is one thread of a litmus scenario, pinned to a core. Proc names
 // the forked process the thread runs in ("" = the root process); such a
-// thread is spawned the moment the corresponding fork op completes.
+// thread is spawned the moment the corresponding fork op completes. VM
+// instead names the virtual machine the thread runs in as a vCPU (pinned,
+// like a host thread, to its physical core): the thread executes in the
+// VM's guest process, whose page table maps guest-physical frames behind
+// an EPT. A VM some host thread vmstarts spawns its vCPU threads when that
+// op completes; a VM no one vmstarts exists from the beginning of the run.
+// Proc and VM are mutually exclusive — the VM label doubles as the guest
+// process label in outcomes and expectations.
 type Thread struct {
 	Core int
 	Proc string
+	VM   string
 	Ops  []Op
 }
 
@@ -118,6 +132,44 @@ type Scenario struct {
 	Expects []Expect
 }
 
+// VMLabels returns every VM label the scenario references — as a vCPU
+// thread's home or as a vm-op target — sorted, each once.
+func (s *Scenario) VMLabels() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(l string) {
+		if l != "" && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	for _, t := range s.Threads {
+		add(t.VM)
+		for _, op := range t.Ops {
+			add(op.VM)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Virtualized reports whether the scenario involves any VM.
+func (s *Scenario) Virtualized() bool { return len(s.VMLabels()) > 0 }
+
+// startedVMs returns the VM labels an explicit vmstart op creates; every
+// other referenced VM exists from the beginning of the run.
+func (s *Scenario) startedVMs() map[string]bool {
+	started := map[string]bool{}
+	for _, t := range s.Threads {
+		for _, op := range t.Ops {
+			if op.Kind == OpVMStart {
+				started[op.VM] = true
+			}
+		}
+	}
+	return started
+}
+
 // MinCores returns the number of cores the scenario needs; the runner skips
 // topologies with fewer.
 func (s *Scenario) MinCores() int {
@@ -145,6 +197,7 @@ func (s *Scenario) Validate() error {
 	sizes := map[string]int{}
 	hugeRegions := map[string]bool{}
 	forked := map[string]bool{}
+	vmStarted := map[string]bool{}
 	// Pre-pass: bind region labels and fork labels scenario-wide, so a
 	// thread may reference a region another thread creates.
 	for ti, t := range s.Threads {
@@ -180,6 +233,14 @@ func (s *Scenario) Validate() error {
 					return fmt.Errorf("%s: process %q forked twice", where, op.Proc)
 				}
 				forked[op.Proc] = true
+			case OpVMStart:
+				if op.VM == "" {
+					return fmt.Errorf("%s: vmstart without a VM label", where)
+				}
+				if vmStarted[op.VM] {
+					return fmt.Errorf("%s: VM %q vmstarted twice (labels are single-assignment)", where, op.VM)
+				}
+				vmStarted[op.VM] = true
 			}
 		}
 	}
@@ -224,15 +285,49 @@ func (s *Scenario) Validate() error {
 				if op.Dur <= 0 {
 					return fmt.Errorf("%s: %v needs a positive duration", where, op.Kind)
 				}
+			case OpVMStart, OpBalloon, OpVMMigrate, OpVMDestroy:
+				if op.VM == "" {
+					return fmt.Errorf("%s: %v without a VM label", where, op.Kind)
+				}
+				if t.VM != "" {
+					// The hypervisor control plane runs on the host; a guest
+					// managing its own VM (or a sibling) is not a thing here.
+					return fmt.Errorf("%s: %v issued from inside VM %q (vm ops are host-side)", where, op.Kind, t.VM)
+				}
+				if op.Kind == OpBalloon && op.Pages <= 0 {
+					return fmt.Errorf("%s: balloon needs a positive page count", where)
+				}
 			case OpFork, OpYield, OpExit:
+				if op.Kind == OpFork && t.VM != "" {
+					// Guest address spaces are fork-free: CoW refcounting
+					// across both paging levels is out of scope (the kernel
+					// rejects it too).
+					return fmt.Errorf("%s: fork inside VM %q not modelled", where, t.VM)
+				}
 			default:
 				return fmt.Errorf("%s: unknown op kind %d", where, op.Kind)
+			}
+			if t.VM != "" && op.Kind == OpMmap && op.Huge {
+				return fmt.Errorf("%s: huge mmap inside VM %q not modelled (no nested THP)", where, t.VM)
 			}
 		}
 	}
 	for ti, t := range s.Threads {
 		if t.Proc != "" && !forked[t.Proc] {
 			return fmt.Errorf("litmus %s: thread %d runs in process %q which no fork creates", s.Name, ti, t.Proc)
+		}
+		if t.VM != "" && t.Proc != "" {
+			return fmt.Errorf("litmus %s: thread %d has both proc %q and vm %q", s.Name, ti, t.Proc, t.VM)
+		}
+	}
+	for _, vl := range s.VMLabels() {
+		if forked[vl] {
+			// VM labels double as guest process labels in outcomes, so the
+			// two namespaces must not collide.
+			return fmt.Errorf("litmus %s: label %q is both a VM and a forked process", s.Name, vl)
+		}
+		if s.Swap {
+			return fmt.Errorf("litmus %s: VMs not supported in swap scenarios", s.Name)
 		}
 	}
 	for _, e := range s.Expects {
@@ -269,6 +364,14 @@ func (k OpKind) String() string {
 		return "wait"
 	case OpExit:
 		return "exit"
+	case OpVMStart:
+		return "vmstart"
+	case OpBalloon:
+		return "balloon"
+	case OpVMMigrate:
+		return "vmmigrate"
+	case OpVMDestroy:
+		return "vmdestroy"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}

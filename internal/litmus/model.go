@@ -219,7 +219,22 @@ func (m *Model) Apply(proc string, op Op) (faults int, fail bool) {
 				pr.vma[i] = false
 			}
 		}
-	case OpCompute, OpSleep, OpYield, OpWait:
+	case OpVMDestroy:
+		// Destroying a VM tears down its guest process's whole address
+		// space, exactly like that process exiting.
+		for _, pr := range m.procs[op.VM] {
+			for i := range pr.pages {
+				m.clearPage(pr, i)
+				pr.vma[i] = false
+			}
+		}
+	case OpVMStart, OpBalloon, OpVMMigrate, OpCompute, OpSleep, OpYield, OpWait:
+		// The flat model has no host level: ballooning and migration move
+		// backing frames underneath the guest without changing a single
+		// architecturally visible page (re-backing happens through EPT
+		// violations, which are hypervisor traps, not guest faults) — and a
+		// VM's existence is not architectural state either. That invariance
+		// is precisely what the two-level differential oracle checks.
 	}
 	return faults, false
 }

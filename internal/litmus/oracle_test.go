@@ -61,6 +61,28 @@ var mutantProbes = map[shootdown.Mutation]struct {
 			}
 		},
 	},
+	// Ballooning that frees the reclaimed backings without killing the
+	// combined gVA→hPA entries: the guest's next reads go through stale
+	// entries over freed host frames, which the stale-use auditor reports.
+	shootdown.MutSkipHostInval: {
+		scenario: "virt-balloon-racing-guest",
+		check: func(t *testing.T, out Outcome) {
+			if out.Violations == 0 {
+				t.Error("skip-host-inval produced no auditor violations")
+			}
+		},
+	},
+	// Ballooning that invalidates correctly but never returns the reclaimed
+	// backings to the host allocator: coherence stays clean, so only the
+	// two-level frame accounting against the flat model can see it.
+	shootdown.MutLeakEPT: {
+		scenario: "virt-balloon-reback",
+		check: func(t *testing.T, out Outcome) {
+			if !failureMentions(out, "frames in use") {
+				t.Errorf("leak-ept not caught by frame accounting; failures: %v", out.Failures)
+			}
+		},
+	},
 }
 
 func failureMentions(out Outcome, sub string) bool {

@@ -15,6 +15,7 @@ import (
 //	swap                          # optional: run under memory pressure with
 //	                              # the remote-paging swapper (safety-only)
 //	thread <core> [@ <proc>]      # @ names the forked process it runs in
+//	thread <core> vm <name>       # a vCPU thread inside VM <name>
 //	  mmap A 8 pop                # rw by default; flags: pop, ro, huge
 //	  write A 0 8                 # read|write <region> <off> <pages>
 //	  munmap A                    # whole region; or: munmap A <off> <pages>
@@ -28,6 +29,11 @@ import (
 //	  fork C1
 //	  wait A                      # block until another thread mmaps A
 //	  exit                        # tear down the process address space
+//	  vmstart V1 2048             # create VM V1 (frames optional; a VM no
+//	                              # one vmstarts exists from the beginning)
+//	  balloon V1 8                # hypervisor reclaims 8 of V1's backings
+//	  vmmigrate V1                # quiesce V1, copy out, drop all backings
+//	  vmdestroy V1                # tear V1 down (guest threads must be done)
 //	expect mapped A 8             # or: expect mapped C1:A 8
 //	expect faults 4
 //
@@ -62,8 +68,8 @@ func Parse(text string) (*Scenario, error) {
 		case "swap":
 			sc.Swap = true
 		case "thread":
-			if len(f) != 2 && !(len(f) == 4 && f[2] == "@") {
-				return fail("want 'thread <core>' or 'thread <core> @ <proc>'")
+			if len(f) != 2 && !(len(f) == 4 && (f[2] == "@" || f[2] == "vm")) {
+				return fail("want 'thread <core>', 'thread <core> @ <proc>' or 'thread <core> vm <name>'")
 			}
 			core, err := strconv.Atoi(f[1])
 			if err != nil {
@@ -71,7 +77,11 @@ func Parse(text string) (*Scenario, error) {
 			}
 			t := Thread{Core: core}
 			if len(f) == 4 {
-				t.Proc = f[3]
+				if f[2] == "vm" {
+					t.VM = f[3]
+				} else {
+					t.Proc = f[3]
+				}
 			}
 			sc.Threads = append(sc.Threads, t)
 			cur = &sc.Threads[len(sc.Threads)-1]
@@ -234,6 +244,35 @@ func parseOp(f []string) (Op, error) {
 		op = Op{Kind: OpWait, Region: f[1]}
 	case "exit":
 		op = Op{Kind: OpExit}
+	case "vmstart":
+		if len(f) != 2 && len(f) != 3 {
+			return op, fmt.Errorf("want 'vmstart <vm> [<frames>]'")
+		}
+		op = Op{Kind: OpVMStart, VM: f[1]}
+		if len(f) == 3 {
+			n, err := ints(f[2:])
+			if err != nil {
+				return op, err
+			}
+			op.Pages = n[0]
+		}
+	case "balloon":
+		if len(f) != 3 {
+			return op, fmt.Errorf("want 'balloon <vm> <pages>'")
+		}
+		n, err := ints(f[2:])
+		if err != nil {
+			return op, err
+		}
+		op = Op{Kind: OpBalloon, VM: f[1], Pages: n[0]}
+	case "vmmigrate", "vmdestroy":
+		if len(f) != 2 {
+			return op, fmt.Errorf("want '%s <vm>'", f[0])
+		}
+		op = Op{Kind: OpVMMigrate, VM: f[1]}
+		if f[0] == "vmdestroy" {
+			op.Kind = OpVMDestroy
+		}
 	default:
 		return op, fmt.Errorf("unknown op %q", f[0])
 	}
@@ -279,9 +318,12 @@ func (s *Scenario) String() string {
 		b.WriteString("swap\n")
 	}
 	for _, t := range s.Threads {
-		if t.Proc != "" {
+		switch {
+		case t.VM != "":
+			fmt.Fprintf(&b, "thread %d vm %s\n", t.Core, t.VM)
+		case t.Proc != "":
 			fmt.Fprintf(&b, "thread %d @ %s\n", t.Core, t.Proc)
-		} else {
+		default:
 			fmt.Fprintf(&b, "thread %d\n", t.Core)
 		}
 		for _, op := range t.Ops {
@@ -357,6 +399,17 @@ func (op Op) String() string {
 		return "wait " + op.Region
 	case OpExit:
 		return "exit"
+	case OpVMStart:
+		if op.Pages > 0 {
+			return fmt.Sprintf("vmstart %s %d", op.VM, op.Pages)
+		}
+		return "vmstart " + op.VM
+	case OpBalloon:
+		return fmt.Sprintf("balloon %s %d", op.VM, op.Pages)
+	case OpVMMigrate:
+		return "vmmigrate " + op.VM
+	case OpVMDestroy:
+		return "vmdestroy " + op.VM
 	default:
 		return fmt.Sprintf("?%d", uint8(op.Kind))
 	}

@@ -17,8 +17,16 @@ import (
 	"latr/internal/topo"
 )
 
-// DefaultPolicies is the policy set every litmus scenario runs under.
-var DefaultPolicies = []string{"linux", "latr", "abis", "barrelfish"}
+// DefaultPolicies is the policy set every litmus scenario runs under: the
+// four bare-metal policies plus the three virtualized two-level ones. The
+// virt policies differ from their bases only in the host-level coherence
+// mode, so running them over single-level scenarios doubles as a regression
+// check that the mode declaration alone changes nothing.
+var DefaultPolicies = []string{"linux", "latr", "abis", "barrelfish", "guest-latr", "host-latr", "hatric"}
+
+// defaultGuestFrames is the guest-physical memory of a VM whose vmstart op
+// does not say otherwise (or that exists from the beginning of the run).
+const defaultGuestFrames = 4096
 
 // Topologies maps the suite's machine-shape names to specs.
 func topoByName(name string) (topo.Spec, error) {
@@ -48,6 +56,15 @@ func newPolicy(name string, prof chaos.Profile) (kernel.Policy, error) {
 		return shootdown.NewABIS(), nil
 	case "barrelfish":
 		return shootdown.NewBarrelfish(), nil
+	case "guest-latr":
+		return shootdown.NewGuestLATR(latrcore.Config{
+			QueueDepth:   prof.QueueDepth,
+			ReclaimDelay: prof.ReclaimDelay,
+		}), nil
+	case "host-latr":
+		return shootdown.NewHostLATR(), nil
+	case "hatric":
+		return shootdown.NewHATRIC(), nil
 	case "instant":
 		return kernel.NewInstantPolicy(), nil
 	}
@@ -89,6 +106,11 @@ type Outcome struct {
 	// scenario carries the swap directive).
 	SwapOuts uint64
 	SwapIns  uint64
+	// VMExits/EPTViolations count two-level overhead events (zero unless
+	// the scenario is virtualized). Per-policy by nature — the comparator
+	// never crosses them — but part of each run's determinism digest.
+	VMExits       uint64
+	EPTViolations uint64
 
 	// Failures lists every oracle check this run failed; empty = pass.
 	Failures []string
@@ -109,8 +131,8 @@ func (o Outcome) Key() string {
 // Digest folds the determinism-relevant parts of the outcome into a string
 // fingerprinted by the suite.
 func (o Outcome) digest() string {
-	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x|%d|%d",
-		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP, o.SwapOuts, o.SwapIns)
+	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x|%d|%d|%d|%d",
+		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP, o.SwapOuts, o.SwapIns, o.VMExits, o.EPTViolations)
 }
 
 // regionInfo binds a symbolic region label to its concrete placement in one
@@ -129,6 +151,7 @@ type runner struct {
 	model *Model // nil for racy scenarios
 
 	procs   map[string]*kernel.Process        // proc label -> process
+	vms     map[string]*kernel.VM             // vm label -> VM (guest proc under the same label in procs)
 	regions map[string]map[string]*regionInfo // proc label -> region label -> placement
 	// claims tracks which region label most recently bound each VPN. A
 	// munmapped region's VA may be reused by a later mmap (immediately under
@@ -141,6 +164,23 @@ type runner struct {
 	faults  []int
 
 	failures []string
+}
+
+// procKey returns the label a thread's process is filed under: its VM label
+// for vCPU threads (the VM's guest process), its fork label otherwise.
+func procKey(t Thread) string {
+	if t.VM != "" {
+		return t.VM
+	}
+	return t.Proc
+}
+
+// addVM registers a freshly created VM and its guest process under label.
+func (r *runner) addVM(label string, v *kernel.VM, p *kernel.Process) {
+	r.vms[label] = v
+	r.procs[label] = p
+	r.regions[label] = map[string]*regionInfo{}
+	r.claims[label] = map[pt.VPN]string{}
 }
 
 func (r *runner) failf(format string, args ...any) {
@@ -182,7 +222,7 @@ func (r *runner) program(ti int) kernel.Program {
 		}
 		for i < len(t.Ops) {
 			op := &t.Ops[i]
-			kop, ready := r.translate(t.Proc, op)
+			kop, ready := r.translate(procKey(t), op)
 			if !ready {
 				return kernel.OpSleep{D: waitRetry}
 			}
@@ -265,6 +305,50 @@ func (r *runner) translate(proc string, op *Op) (kernel.Op, bool) {
 		return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
 			k.ReleaseAddressSpace(c, th, th.Proc, done)
 		}}, true
+	case OpVMStart:
+		k := r.k
+		label, frames := op.VM, op.Pages
+		return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+			if frames <= 0 {
+				frames = defaultGuestFrames
+			}
+			v := k.NewVM(label, frames)
+			r.addVM(label, v, k.NewGuestProcess(v))
+			c.Busy(k.Cost.SyscallEntry, false, done)
+		}}, true
+	case OpBalloon:
+		v, ok := r.vms[op.VM]
+		if !ok {
+			return nil, false // vmstart has not completed yet
+		}
+		k, n := r.k, op.Pages
+		return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+			k.BalloonReclaim(c, v, n, done)
+		}}, true
+	case OpVMMigrate:
+		v, ok := r.vms[op.VM]
+		if !ok {
+			return nil, false
+		}
+		k := r.k
+		return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+			k.MigrateVM(c, v, done)
+		}}, true
+	case OpVMDestroy:
+		v, ok := r.vms[op.VM]
+		if !ok {
+			return nil, false
+		}
+		k := r.k
+		return kernel.OpCall{Fn: func(c *kernel.Core, th *kernel.Thread, done func()) {
+			if err := k.DestroyVM(c, v, done); err != nil {
+				// Destroying too early (live guest threads) is a scenario
+				// sequencing bug; the model predicts success, so the error
+				// surfaces as an oracle failure.
+				th.LastErr = err
+				c.Busy(k.Cost.SyscallEntry, false, done)
+			}
+		}}, true
 	}
 	return nil, true
 }
@@ -274,22 +358,23 @@ func (r *runner) translate(proc string, op *Op) (kernel.Op, bool) {
 // reference model, cross-checking its fault/error prediction.
 func (r *runner) finishOp(ti int, th *kernel.Thread, op *Op) {
 	t := r.sc.Threads[ti]
+	key := procKey(t)
 	switch op.Kind {
 	case OpMmap:
 		if th.LastErr == nil {
-			r.regions[t.Proc][op.Region] = &regionInfo{base: th.LastAddr, pages: op.Pages, huge: op.Huge}
-			r.claim(t.Proc, op.Region, th.LastAddr, op.Pages)
+			r.regions[key][op.Region] = &regionInfo{base: th.LastAddr, pages: op.Pages, huge: op.Huge}
+			r.claim(key, op.Region, th.LastAddr, op.Pages)
 		}
 	case OpMremap:
 		if th.LastErr == nil {
-			if ri, ok := r.regions[t.Proc][op.Region]; ok {
+			if ri, ok := r.regions[key][op.Region]; ok {
 				for i := 0; i < ri.pages; i++ {
-					if vpn := ri.base + pt.VPN(i); r.claims[t.Proc][vpn] == op.Region {
-						delete(r.claims[t.Proc], vpn)
+					if vpn := ri.base + pt.VPN(i); r.claims[key][vpn] == op.Region {
+						delete(r.claims[key], vpn)
 					}
 				}
 				ri.base = th.LastAddr
-				r.claim(t.Proc, op.Region, ri.base, ri.pages)
+				r.claim(key, op.Region, ri.base, ri.pages)
 			}
 		}
 	case OpFork:
@@ -298,13 +383,13 @@ func (r *runner) finishOp(ti int, th *kernel.Thread, op *Op) {
 			// The child inherits the parent's region placements (fork
 			// mirrors VAs).
 			inherited := map[string]*regionInfo{}
-			for label, ri := range r.regions[t.Proc] {
+			for label, ri := range r.regions[key] {
 				cp := *ri
 				inherited[label] = &cp
 			}
 			r.regions[op.Proc] = inherited
 			owned := map[pt.VPN]string{}
-			for vpn, label := range r.claims[t.Proc] {
+			for vpn, label := range r.claims[key] {
 				owned[vpn] = label
 			}
 			r.claims[op.Proc] = owned
@@ -313,11 +398,19 @@ func (r *runner) finishOp(ti int, th *kernel.Thread, op *Op) {
 			}
 			r.pending[op.Proc] = nil
 		}
+	case OpVMStart:
+		if th.LastErr == nil {
+			// The VM exists: its vCPU threads may start executing.
+			for _, wi := range r.pending[op.VM] {
+				r.spawn(wi)
+			}
+			r.pending[op.VM] = nil
+		}
 	case OpTouch:
 		r.faults[ti] += th.LastFault
 	}
 	if r.model != nil {
-		predFaults, predFail := r.model.Apply(t.Proc, *op)
+		predFaults, predFail := r.model.Apply(key, *op)
 		if op.Kind == OpTouch && th.LastFault != predFaults {
 			r.failf("%s thread %d op %q: observed %d faults, model predicts %d",
 				r.sc.Name, ti, op.String(), th.LastFault, predFaults)
@@ -350,10 +443,11 @@ func (r *runner) owns(proc, region string, vpn pt.VPN) bool {
 	return r.claims[proc][vpn] == region
 }
 
-// spawn starts thread wi on its core.
+// spawn starts thread wi on its core — a host thread in its process, a vCPU
+// thread in its VM's guest process (vCPUs are pinned to physical cores).
 func (r *runner) spawn(wi int) {
 	t := r.sc.Threads[wi]
-	p := r.procs[t.Proc]
+	p := r.procs[procKey(t)]
 	r.spawned[wi] = true
 	p.Spawn(topo.CoreID(t.Core), r.program(wi))
 }
@@ -414,12 +508,22 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 		k:       k,
 		sc:      sc,
 		procs:   map[string]*kernel.Process{"": k.NewProcess()},
+		vms:     map[string]*kernel.VM{},
 		regions: map[string]map[string]*regionInfo{"": {}},
 		claims:  map[string]map[pt.VPN]string{"": {}},
 		pending: map[string][]int{},
 		spawned: make([]bool, len(sc.Threads)),
 		done:    make([]bool, len(sc.Threads)),
 		faults:  make([]int, len(sc.Threads)),
+	}
+	// VMs no vmstart op creates exist from the beginning of the run, in
+	// sorted label order so VPID assignment is deterministic.
+	started := sc.startedVMs()
+	for _, vl := range sc.VMLabels() {
+		if !started[vl] {
+			v := k.NewVM(vl, defaultGuestFrames)
+			r.addVM(vl, v, k.NewGuestProcess(v))
+		}
 	}
 	// The exact oracle (reference model + fault-count predictions) applies
 	// only to deterministic-phase runs: chaos injection legitimately
@@ -434,10 +538,10 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 		sw.Register(r.procs[""])
 	}
 	for ti, t := range sc.Threads {
-		if t.Proc == "" {
+		if _, ok := r.procs[procKey(t)]; ok {
 			r.spawn(ti)
 		} else {
-			r.pending[t.Proc] = append(r.pending[t.Proc], ti)
+			r.pending[procKey(t)] = append(r.pending[procKey(t)], ti)
 		}
 	}
 
@@ -474,12 +578,24 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 	}
 	k.Run(k.Now() + drain)
 
-	// Collect.
+	// Collect. Virtualized runs first audit gVA→gPA→hPA consistency across
+	// both levels for every live VM (destroyed VMs were audited at destroy
+	// time), and report frames with each VM's EPT backings replaced by its
+	// live guest frames — the flat model's view of a two-level system.
+	if sc.Virtualized() {
+		k.AuditVirt()
+	}
 	out.Faults = r.faults
 	out.EngineFP = k.Engine.Fingerprint()
 	out.SwapOuts = k.Metrics.Counter("swap.out")
 	out.SwapIns = k.Metrics.Counter("swap.in")
-	out.FramesInUse = k.Alloc.TotalInUse()
+	out.VMExits = k.Metrics.Counter("virt.vm_exits")
+	out.EPTViolations = k.Metrics.Counter("virt.ept_violations")
+	if sc.Virtualized() {
+		out.FramesInUse = int64(k.AdjustedFramesInUse())
+	} else {
+		out.FramesInUse = k.Alloc.TotalInUse()
+	}
 	if k.Audit != nil {
 		out.Violations = int(k.Audit.Total())
 		if out.Violations > 0 {

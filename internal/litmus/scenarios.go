@@ -482,4 +482,322 @@ thread 5
   write A 0 8
 expect mapped A 8
 `,
+
+	// -- Two-level (virtualized) scenarios ---------------------------------
+	//
+	// Threads declared `thread <core> vm <name>` are vCPUs: their process is
+	// the VM's guest, translations walk guest PT then EPT, TLB entries carry
+	// the VM's VPID, and shootdown IPIs pay VM-exit costs. VMs named without
+	// a `vmstart` op are created at setup with the default guest-frame pool.
+	// The flat reference model has no host level, so ballooning and
+	// migration must be architecturally invisible — that invariance is the
+	// two-level differential oracle.
+
+	// Single-vCPU guest lifecycle: populate, touch, tear down. The combined
+	// gVA→hPA entries and the nested-walk cost path, no host interference.
+	`litmus virt-guest-basic
+thread 0 vm V1
+  mmap A 8 pop
+  write A 0 8
+  read A 0 8
+  munmap A
+expect mapped V1:A 0
+expect faults 0
+`,
+
+	// Guest demand paging: each first touch is a guest page fault plus an
+	// EPT violation backing the fresh gPFN with a host frame.
+	`litmus virt-guest-demand-paging
+thread 0 vm V1
+  mmap A 8
+  write A 0 8
+  read A 0 8
+expect mapped V1:A 8
+expect faults 0
+`,
+
+	// Protection changes inside the guest: downgrades and upgrades flow
+	// through the same sync path, under the VPID-tagged TLB.
+	`litmus virt-guest-mprotect
+thread 0 vm V1
+  mmap A 4 pop
+  mprotect A 0 4 ro
+  write A 0 4
+  mprotect A 0 4 rw
+  write A 0 4
+expect mapped V1:A 4
+expect faults 4
+`,
+
+	// Cross-vCPU guest munmap: the shootdown IPIs trap through the
+	// hypervisor (send, inject and EOI each exit), and the remote vCPU must
+	// segv once coherence converges.
+	`litmus virt-vcpu-shootdown
+thread 0 vm V1
+  mmap A 8 pop
+  write A 0 8
+  sleep 2ms
+  munmap A
+thread 2 vm V1
+  wait A
+  read A 0 8
+  compute 3ms
+  sleep 1ms
+  read A 0 8
+expect mapped V1:A 0
+expect faults 8
+`,
+
+	// Guest mprotect is synchronous under every policy: the remote vCPU's
+	// stale writable combined entry dies before the call returns.
+	`litmus virt-mprotect-remote-revoke
+thread 0 vm V1
+  mmap A 4 pop
+  sleep 1500us
+  mprotect A 0 4 ro
+thread 3 vm V1
+  wait A
+  write A 0 4
+  compute 3ms
+  write A 0 4
+expect mapped V1:A 4
+expect faults 4
+`,
+
+	// Guest-frame recycling: B's mmap reallocates A's guest frames off the
+	// GPhys free list while a second vCPU held A cached — the two-level
+	// frame-reuse bait for lazy guest-level policies.
+	`litmus virt-reuse-after-shootdown
+thread 0 vm V1
+  mmap A 8 pop
+  write A 0 8
+  sleep 2ms
+  munmap A
+  mmap B 8 pop
+  write B 0 8
+thread 2 vm V1
+  wait A
+  read A 0 8
+  compute 3ms
+expect mapped V1:A 0
+expect mapped V1:B 8
+expect faults 0
+`,
+
+	// Unmapping 40 guest pages crosses the full-flush threshold; under
+	// virtualization the flush is VPID-scoped, and bystander region B must
+	// survive it via nested walks.
+	`litmus virt-full-flush-survivor
+thread 1 vm V1
+  mmap A 40 pop
+  mmap B 4 pop
+  write B 0 4
+  munmap A
+  read B 0 4
+expect mapped V1:A 0
+expect mapped V1:B 4
+expect faults 0
+`,
+
+	// An explicit vmstart with a small guest-physical pool: the vCPU thread
+	// stays pending until the VM exists, then lives entirely inside 64
+	// guest frames.
+	`litmus virt-small-guest-pool
+thread 0
+  vmstart V1 64
+thread 1 vm V1
+  mmap A 48 pop
+  write A 0 48
+  munmap A 0 24
+  read A 24 24
+expect mapped V1:A 24
+expect faults 0
+`,
+
+	// Two VMs mapping and touching concurrently on neighbouring cores:
+	// VPID tagging must keep their combined entries apart.
+	`litmus virt-two-vms
+thread 1 vm V1
+  mmap A 8 pop
+  write A 0 8
+  read A 0 8
+thread 2 vm V2
+  mmap B 8 pop
+  write B 0 8
+  read B 0 8
+expect mapped V1:A 8
+expect mapped V2:B 8
+expect faults 0
+`,
+
+	// Host-native and guest address-space churn side by side: host
+	// shootdowns pay no exit costs while the guest's do, and neither level
+	// may disturb the other.
+	`litmus virt-host-guest-mix
+thread 0
+  mmap H 8 pop
+  write H 0 8
+  munmap H
+  mmap J 8 pop
+  write J 0 8
+thread 1 vm V1
+  mmap A 8 pop
+  write A 0 8
+  munmap A
+  mmap B 8 pop
+  write B 0 8
+expect mapped H 0
+expect mapped J 8
+expect mapped V1:A 0
+expect mapped V1:B 8
+expect faults 0
+`,
+
+	// Host swap-out via ballooning, then the guest re-touches: the backings
+	// were reclaimed underneath a live working set, so the re-reads refault
+	// through EPT violations — architecturally invisible, zero guest
+	// faults. The leak-ept sensitivity bait: a host level that never frees
+	// the reclaimed backings fails the two-level frame accounting.
+	`litmus virt-balloon-reback
+thread 1 vm V1
+  mmap A 16 pop
+  write A 0 16
+  sleep 3ms
+  read A 0 16
+thread 0
+  sleep 1500us
+  balloon V1 8
+expect mapped V1:A 16
+expect faults 0
+`,
+
+	// Guest unmap of a half-ballooned region: the free paths must route
+	// guest frames to the GPhys pool and still-backed host frames to the
+	// host allocator, whichever order balloon and munmap land in.
+	`litmus virt-balloon-unmap
+thread 1 vm V1
+  mmap A 16 pop
+  write A 0 16
+  sleep 4ms
+  munmap A
+  mmap B 8 pop
+  write B 0 8
+thread 0
+  sleep 1ms
+  balloon V1 8
+expect mapped V1:A 0
+expect mapped V1:B 8
+expect faults 0
+`,
+
+	// Live migration's stop-and-copy instant drops every backing and every
+	// combined entry; the guest re-faults its whole working set afterwards
+	// without observing a thing.
+	`litmus virt-migrate-reback
+thread 1 vm V1
+  mmap A 12 pop
+  write A 0 12
+  sleep 2ms
+  read A 0 12
+thread 0
+  sleep 1ms
+  vmmigrate V1
+expect mapped V1:A 12
+expect faults 0
+`,
+
+	// VPID reuse after teardown: V1 dies, its VPID returns to the free
+	// list, and V2 — started immediately after — inherits it. The destroy
+	// path's INVVPID must leave no stale combined entry for V2 to hit.
+	`litmus virt-vpid-reuse
+thread 1 vm V1
+  mmap A 8 pop
+  write A 0 8
+  read A 0 8
+thread 0
+  sleep 3ms
+  vmdestroy V1
+  vmstart V2
+thread 2 vm V2
+  mmap B 8 pop
+  write B 0 8
+  read B 0 8
+expect mapped V1:A 0
+expect mapped V2:B 8
+expect faults 0
+`,
+
+	// Destroying a VM whose guest never cleaned up: teardown must unmap the
+	// guest address space, drain the GPhys pool and free every backing —
+	// the model treats it as the guest process exiting.
+	`litmus virt-destroy-teardown
+thread 1 vm V1
+  mmap A 8 pop
+  write A 0 8
+  mmap B 4
+  write B 0 4
+thread 0
+  sleep 3ms
+  vmdestroy V1
+expect mapped V1:A 0
+expect mapped V1:B 0
+expect faults 0
+`,
+
+	// -- Racy two-level scenarios (safety-only) ----------------------------
+
+	// Ballooning racing guest access: the host reclaims the guest's hot
+	// backings mid-compute, and the very next guest reads go through
+	// whatever combined entries survived. Safe under every correct host
+	// mode — and the skip-host-inval bait: freeing the backings without
+	// killing the combined entries leaves the guest reading a freed host
+	// frame, which the stale-use auditor reports.
+	`litmus virt-balloon-racing-guest
+racy
+thread 1 vm V1
+  mmap A 16 pop
+  write A 0 16
+  compute 4ms
+  read A 0 16
+thread 0
+  sleep 1ms
+  balloon V1 16
+expect mapped V1:A 16
+`,
+
+	// Guest unmap racing host swap-out: munmap's shootdown and the
+	// balloon's quiesce interleave freely over the same region.
+	`litmus virt-unmap-during-balloon
+racy
+thread 1 vm V1
+  mmap A 32 pop
+  write A 0 32
+  sleep 500us
+  munmap A 0 16
+  read A 16 16
+thread 0
+  sleep 500us
+  balloon V1 24
+expect mapped V1:A 16
+`,
+
+	// Migration racing a guest shootdown: the stop-and-copy quiesce lands
+	// somewhere inside a partial munmap plus remote re-reads.
+	`litmus virt-migrate-mid-quiesce
+racy
+thread 1 vm V1
+  mmap A 16 pop
+  write A 0 16
+  munmap A 0 8
+  read A 8 8
+  write A 8 8
+thread 2 vm V1
+  wait A
+  read A 0 16
+  compute 2ms
+thread 0
+  sleep 200us
+  vmmigrate V1
+expect mapped V1:A 8
+`,
 }

@@ -48,6 +48,7 @@ const (
 	KindSwap                // swap-out eviction of one victim page
 	KindExit                // exit_mmap address-space teardown
 	KindRequest             // one cluster front-end request (routing + attempts)
+	KindBalloon             // hypervisor balloon reclaim of EPT backings
 	numKinds
 )
 
@@ -67,6 +68,8 @@ func (k Kind) String() string {
 		return "exit"
 	case KindRequest:
 		return "request"
+	case KindBalloon:
+		return "balloon"
 	}
 	return "unknown"
 }
@@ -74,7 +77,7 @@ func (k Kind) String() string {
 // frees reports whether this kind releases frames, i.e. must mark a
 // reclaim phase before its span may close complete.
 func (k Kind) frees() bool {
-	return k == KindMunmap || k == KindMadvise || k == KindSwap || k == KindExit
+	return k == KindMunmap || k == KindMadvise || k == KindSwap || k == KindExit || k == KindBalloon
 }
 
 // Phase is one stage of a span's lifecycle.
@@ -129,14 +132,28 @@ type Span struct {
 	Targets   topo.CoreMask
 	Lazy      bool // at least one phase ran lazily
 	Unsafe    bool // chaos freed its memory while coherence was still pending
-	OpenedAt  sim.Time
-	ClosedAt  sim.Time
-	Events    []PhaseEvent
+	// Level is the translation level the operation originated at: 0 for
+	// host/bare-metal operations, 1 for guest-initiated ones (two-level
+	// provenance; exported only when nonzero so flat-run goldens are
+	// unchanged).
+	Level    int
+	OpenedAt sim.Time
+	ClosedAt sim.Time
+	Events   []PhaseEvent
 
 	col  *Collector
 	refs int
 	seen [numPhases]bool
 	next *Span // free-list link
+}
+
+// SetLevel records the translation level the operation originated at
+// (1 = inside a guest). Nil-safe like every Span method.
+func (s *Span) SetLevel(level int) {
+	if s == nil {
+		return
+	}
+	s.Level = level
 }
 
 // SetTargets ORs mask into the span's target set.
@@ -364,6 +381,8 @@ func (c *Collector) emit(s *Span, p Phase, core topo.CoreID, begin, dur sim.Time
 			ok = c.tr.Record(begin, core, "numa", "migration unmap [%#x,+%d)", addr, s.Pages)
 		case KindSwap:
 			ok = c.tr.Record(begin, core, "swapout", "evict [%#x,+%d)", addr, s.Pages)
+		case KindBalloon:
+			ok = c.tr.Record(begin, core, "virt", "balloon reclaim %d backings", s.Pages)
 		default:
 			ok = c.tr.Record(begin, core, "exit", "address-space teardown")
 		}

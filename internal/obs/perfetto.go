@@ -97,9 +97,15 @@ func WritePerfetto(w io.Writer, groups ...Group) error {
 		for _, s := range spans {
 			name := jsonStr(fmt.Sprintf("%s [%#x,+%d)", s.Kind, s.Start.Addr(), s.Pages))
 			cat := jsonStr(s.Kind.String())
-			ev(`{"ph":"b","cat":%s,"id":"0x%x","pid":%d,"tid":%d,"ts":%s,"name":%s,"args":{"policy":%s,"targets":%s,"pages":%d,"lazy":%v,"unsafe":%v}}`,
+			// The level arg appears only on guest-originated spans, so
+			// flat-run golden files are byte-identical to before.
+			level := ""
+			if s.Level > 0 {
+				level = fmt.Sprintf(`,"level":%d`, s.Level)
+			}
+			ev(`{"ph":"b","cat":%s,"id":"0x%x","pid":%d,"tid":%d,"ts":%s,"name":%s,"args":{"policy":%s,"targets":%s,"pages":%d,"lazy":%v,"unsafe":%v%s}}`,
 				cat, s.ID, g.Pid, int(s.Initiator), usec(s.OpenedAt), name,
-				jsonStr(s.col.Policy()), jsonStr(s.Targets.String()), s.Pages, s.Lazy, s.Unsafe)
+				jsonStr(s.col.Policy()), jsonStr(s.Targets.String()), s.Pages, s.Lazy, s.Unsafe, level)
 			for _, e := range s.Events {
 				slice := e.Phase.String()
 				if e.Lazy {

@@ -1,0 +1,87 @@
+package pt
+
+import (
+	"fmt"
+
+	"latr/internal/mem"
+)
+
+// EPT is the hypervisor's nested (second-level) translation table for one
+// virtual machine: guest-physical frame number → host-physical frame
+// number. Guest page tables translate gVA→gPA; the EPT translates gPA→hPA;
+// TLBs cache the combined gVA→hPA mapping tagged with the VM's VPID, so
+// the EPT is consulted only on TLB misses (the two-dimensional walk) and
+// EPT violations (unbacked guest-physical pages trap to the host).
+//
+// A backing holds one reference on the host frame; Unback returns the
+// frame for the caller to release through the host's coherence path —
+// freeing host memory while some TLB still caches a combined translation
+// to it is exactly the two-level §4.2 violation the auditor looks for.
+type EPT struct {
+	fwd map[mem.PFN]mem.PFN // gPFN → hPFN
+	rev map[mem.PFN]mem.PFN // hPFN → gPFN
+}
+
+// NewEPT returns an empty nested table.
+func NewEPT() *EPT {
+	return &EPT{fwd: make(map[mem.PFN]mem.PFN), rev: make(map[mem.PFN]mem.PFN)}
+}
+
+// Back installs gpfn → hpfn. Backing an already-backed guest frame is an
+// error: the host must unback (and invalidate) first, mirroring Map.
+func (e *EPT) Back(gpfn, hpfn mem.PFN) error {
+	if old, ok := e.fwd[gpfn]; ok {
+		return fmt.Errorf("ept: gPFN %d already backed by hPFN %d", gpfn, old)
+	}
+	if old, ok := e.rev[hpfn]; ok {
+		return fmt.Errorf("ept: hPFN %d already backs gPFN %d", hpfn, old)
+	}
+	e.fwd[gpfn] = hpfn
+	e.rev[hpfn] = gpfn
+	return nil
+}
+
+// Lookup translates one guest-physical frame. ok=false is an EPT
+// violation: the access must trap to the host.
+func (e *EPT) Lookup(gpfn mem.PFN) (hpfn mem.PFN, ok bool) {
+	hpfn, ok = e.fwd[gpfn]
+	return hpfn, ok
+}
+
+// Unback removes the backing of gpfn, returning the host frame that backed
+// it. ok=false if the guest frame was not backed.
+func (e *EPT) Unback(gpfn mem.PFN) (hpfn mem.PFN, ok bool) {
+	hpfn, ok = e.fwd[gpfn]
+	if !ok {
+		return 0, false
+	}
+	delete(e.fwd, gpfn)
+	delete(e.rev, hpfn)
+	return hpfn, true
+}
+
+// HostToGuest is the reverse translation: which guest frame (if any) the
+// host frame currently backs. The audit layer uses it to attribute a stale
+// combined TLB entry back to its guest-physical page.
+func (e *EPT) HostToGuest(hpfn mem.PFN) (gpfn mem.PFN, ok bool) {
+	gpfn, ok = e.rev[hpfn]
+	return gpfn, ok
+}
+
+// Backed returns the number of live backings.
+func (e *EPT) Backed() int { return len(e.fwd) }
+
+// BackedGuestFrames returns every backed guest frame in ascending order —
+// the deterministic iteration the host's reclaim cursor scans.
+func (e *EPT) BackedGuestFrames() []mem.PFN {
+	out := make([]mem.PFN, 0, len(e.fwd))
+	for g := range e.fwd {
+		out = append(out, g)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package pt
+
+import (
+	"testing"
+
+	"latr/internal/mem"
+)
+
+func TestEPTBackLookupUnback(t *testing.T) {
+	e := NewEPT()
+	if _, ok := e.Lookup(3); ok {
+		t.Fatal("empty EPT translated gPFN 3")
+	}
+	if err := e.Back(3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := e.Lookup(3); !ok || h != 100 {
+		t.Fatalf("Lookup(3) = %d,%v, want 100,true", h, ok)
+	}
+	if g, ok := e.HostToGuest(100); !ok || g != 3 {
+		t.Fatalf("HostToGuest(100) = %d,%v, want 3,true", g, ok)
+	}
+	if h, ok := e.Unback(3); !ok || h != 100 {
+		t.Fatalf("Unback(3) = %d,%v, want 100,true", h, ok)
+	}
+	if _, ok := e.Lookup(3); ok {
+		t.Fatal("gPFN 3 still translates after Unback")
+	}
+	if _, ok := e.HostToGuest(100); ok {
+		t.Fatal("hPFN 100 still reverse-translates after Unback")
+	}
+	if _, ok := e.Unback(3); ok {
+		t.Fatal("double Unback succeeded")
+	}
+	if e.Backed() != 0 {
+		t.Fatalf("Backed = %d, want 0", e.Backed())
+	}
+}
+
+func TestEPTDoubleBackRejected(t *testing.T) {
+	e := NewEPT()
+	if err := e.Back(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Back(1, 11); err == nil {
+		t.Error("re-backing a backed gPFN succeeded")
+	}
+	if err := e.Back(2, 10); err == nil {
+		t.Error("one host frame backing two guest frames succeeded")
+	}
+}
+
+func TestEPTBackedGuestFramesSorted(t *testing.T) {
+	e := NewEPT()
+	for _, g := range []mem.PFN{9, 2, 7, 0, 5} {
+		if err := e.Back(g, 100+g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.BackedGuestFrames()
+	want := []mem.PFN{0, 2, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("BackedGuestFrames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BackedGuestFrames = %v, want %v (deterministic reclaim order)", got, want)
+		}
+	}
+}

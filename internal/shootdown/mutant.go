@@ -36,11 +36,21 @@ const (
 	// IPI set — one core's TLB silently stays stale. Detected by the
 	// auditor when the freed frame is reallocated.
 	MutSkipOneTarget Mutation = "skip-one-target"
+	// MutSkipHostInval is a two-level bug: when the hypervisor reclaims EPT
+	// backings (ballooning / host swap-out), the backing frames are freed
+	// without invalidating the combined gVA→hPA TLB entries. Detected by the
+	// auditor (stale-use / frame-reuse through the freed host frame).
+	MutSkipHostInval Mutation = "skip-host-inval"
+	// MutLeakEPT is a two-level bug: host-level invalidation runs correctly
+	// but the reclaimed backing frames are never returned to the host
+	// allocator. Detected by two-level frame accounting (host frames in use
+	// exceed the flat model's prediction).
+	MutLeakEPT Mutation = "leak-ept"
 )
 
 // Mutations lists every mutation class, for exhaustive sensitivity tests.
 func Mutations() []Mutation {
-	return []Mutation{MutEarlyFree, MutSkipSyncInval, MutLeakFrames, MutSkipOneTarget}
+	return []Mutation{MutEarlyFree, MutSkipSyncInval, MutLeakFrames, MutSkipOneTarget, MutSkipHostInval, MutLeakEPT}
 }
 
 // Mutant wraps the Linux policy with one seeded bug.
@@ -57,7 +67,8 @@ var (
 // NewMutant builds the mutant policy for one bug class.
 func NewMutant(mut Mutation) (kernel.Policy, error) {
 	switch mut {
-	case MutEarlyFree, MutSkipSyncInval, MutLeakFrames, MutSkipOneTarget:
+	case MutEarlyFree, MutSkipSyncInval, MutLeakFrames, MutSkipOneTarget,
+		MutSkipHostInval, MutLeakEPT:
 		return &Mutant{mut: mut}, nil
 	}
 	var names []string
@@ -69,6 +80,19 @@ func NewMutant(mut Mutation) (kernel.Policy, error) {
 
 // Name implements kernel.Policy.
 func (p *Mutant) Name() string { return "mutant:" + string(p.mut) }
+
+// HostMode implements kernel.HostCoherent: the two nested mutations seed
+// their bug into the hypervisor's reclaim path; every other mutant keeps the
+// host level correct (and synchronous) so single-level oracles stay clean.
+func (p *Mutant) HostMode() kernel.HostMode {
+	switch p.mut {
+	case MutSkipHostInval:
+		return kernel.HostSkipInval
+	case MutLeakEPT:
+		return kernel.HostLeakEPT
+	}
+	return kernel.HostSync
+}
 
 // Munmap implements kernel.Policy with the mutation applied.
 func (p *Mutant) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {

@@ -8,6 +8,7 @@ import (
 	"latr/internal/kernel"
 	"latr/internal/pt"
 	"latr/internal/sim"
+	"latr/internal/tlb"
 	"latr/internal/topo"
 )
 
@@ -261,7 +262,7 @@ func TestSyncChangeInvalidatesRemotes(t *testing.T) {
 		// Stop just after the mprotect completes; the remote TLB entry must
 		// already be gone — no waiting for ticks allowed for sync changes.
 		k.Run(400 * sim.Microsecond)
-		if k.Cores[1].TLB.Has(0, base) {
+		if k.Cores[1].TLB.Has(tlb.Tag{}, base) {
 			t.Errorf("%s: stale writable entry on core 1 after mprotect", pol.Name())
 		}
 	}

@@ -20,11 +20,11 @@ const hugeTrackBit pt.VPN = 1 << 50
 
 // LookupHuge consults the huge array for the 2 MB translation covering
 // vpn. The returned line's PFN is the *base* frame of the huge page.
-func (t *TLB) LookupHuge(pcid PCID, vpn pt.VPN) (Line, bool) {
+func (t *TLB) LookupHuge(tag Tag, vpn pt.VPN) (Line, bool) {
 	if t.huge == nil {
 		return Line{}, false
 	}
-	k := Key{pcid, pt.HugeBase(vpn)}
+	k := Key{tag, pt.HugeBase(vpn)}
 	if ln, ok := t.huge.get(k); ok {
 		t.Stats.Hits++
 		return ln, true
@@ -33,12 +33,12 @@ func (t *TLB) LookupHuge(pcid PCID, vpn pt.VPN) (Line, bool) {
 }
 
 // InsertHuge caches a 2 MB translation (base VPN → base PFN).
-func (t *TLB) InsertHuge(pcid PCID, base pt.VPN, pfn mem.PFN, writable bool) {
+func (t *TLB) InsertHuge(tag Tag, base pt.VPN, pfn mem.PFN, writable bool) {
 	if t.huge == nil {
 		t.huge = newLRU(hugeEntries)
 	}
 	t.Stats.Inserts++
-	k := Key{pcid, pt.HugeBase(base)}
+	k := Key{tag, pt.HugeBase(base)}
 	if old, ok := t.huge.remove(k); ok {
 		t.droppedHuge(old)
 	}
@@ -47,7 +47,7 @@ func (t *TLB) InsertHuge(pcid PCID, base pt.VPN, pfn mem.PFN, writable bool) {
 	}
 	if t.tracker != nil {
 		for i := pt.VPN(0); i < pt.HugePages; i++ {
-			t.tracker.add(t.core, Key{k.PCID, k.VPN + i + hugeTrackBit}, pfn+mem.PFN(i))
+			t.tracker.add(t.core, Key{k.Tag, k.VPN + i + hugeTrackBit}, pfn+mem.PFN(i))
 		}
 	}
 }
@@ -57,17 +57,17 @@ func (t *TLB) droppedHuge(ln Line) {
 		return
 	}
 	for i := pt.VPN(0); i < pt.HugePages; i++ {
-		t.tracker.del(t.core, Key{ln.Key.PCID, ln.Key.VPN + i + hugeTrackBit})
+		t.tracker.del(t.core, Key{ln.Key.Tag, ln.Key.VPN + i + hugeTrackBit})
 	}
 }
 
 // invalidateHugeCovering removes the huge translation covering vpn, if
 // cached (INVLPG invalidates any translation for the address).
-func (t *TLB) invalidateHugeCovering(pcid PCID, vpn pt.VPN) bool {
+func (t *TLB) invalidateHugeCovering(tag Tag, vpn pt.VPN) bool {
 	if t.huge == nil {
 		return false
 	}
-	if ln, ok := t.huge.remove(Key{pcid, pt.HugeBase(vpn)}); ok {
+	if ln, ok := t.huge.remove(Key{tag, pt.HugeBase(vpn)}); ok {
 		t.droppedHuge(ln)
 		return true
 	}
@@ -93,9 +93,9 @@ func (t *TLB) flushHugeWhere(pred func(Line) bool) {
 }
 
 // HasHuge reports whether the 2 MB translation covering vpn is cached.
-func (t *TLB) HasHuge(pcid PCID, vpn pt.VPN) bool {
+func (t *TLB) HasHuge(tag Tag, vpn pt.VPN) bool {
 	if t.huge == nil {
 		return false
 	}
-	return t.huge.contains(Key{pcid, pt.HugeBase(vpn)})
+	return t.huge.contains(Key{tag, pt.HugeBase(vpn)})
 }

@@ -1,8 +1,8 @@
 // Package tlb models per-core translation lookaside buffers.
 //
 // Each core has an exclusive two-level hierarchy (L1 D-TLB backed by an L2
-// STLB victim cache), with entries tagged by PCID. The package also
-// provides a machine-wide shadow Tracker that records which (core, PCID,
+// STLB victim cache), with entries tagged by (VPID, PCID). The package also
+// provides a machine-wide shadow Tracker that records which (core, tag,
 // VPN) triples currently cache which physical frame; the kernel uses it to
 // check the paper's central invariant — a physical page is never reused
 // while any TLB still maps it (§3, §4.2).
@@ -10,6 +10,7 @@ package tlb
 
 import (
 	"fmt"
+	"sort"
 
 	"latr/internal/mem"
 	"latr/internal/pt"
@@ -20,10 +21,25 @@ import (
 // disabled (as Linux 4.10 elects — §4.5).
 type PCID uint16
 
+// VPID is a virtual-processor identifier (VT-x style): entries cached on
+// behalf of a guest carry the guest's VPID so host↔guest transitions need
+// no flush and the hypervisor can invalidate one VM's translations
+// precisely (INVVPID). VPID 0 tags host (bare-metal) entries.
+type VPID uint16
+
+// Tag is the full address-space identifier of one TLB entry: the VPID of
+// the owning virtual machine (0 for host entries) plus the PCID within
+// that context. For guest entries the cached translation is the *combined*
+// guest-VA → host-PA mapping, exactly as nested-paging hardware caches it.
+type Tag struct {
+	VPID VPID
+	PCID PCID
+}
+
 // Key identifies a TLB entry.
 type Key struct {
-	PCID PCID
-	VPN  pt.VPN
+	Tag Tag
+	VPN pt.VPN
 }
 
 // Line is a cached translation.
@@ -69,8 +85,8 @@ func New(core topo.CoreID, l1Size, l2Size int, tracker *Tracker) *TLB {
 func (t *TLB) Core() topo.CoreID { return t.core }
 
 // Lookup consults the hierarchy. On an L2 hit the entry is promoted to L1.
-func (t *TLB) Lookup(pcid PCID, vpn pt.VPN) (Line, bool) {
-	k := Key{pcid, vpn}
+func (t *TLB) Lookup(tag Tag, vpn pt.VPN) (Line, bool) {
+	k := Key{tag, vpn}
 	if ln, ok := t.l1.get(k); ok {
 		t.Stats.Hits++
 		return ln, true
@@ -89,9 +105,9 @@ func (t *TLB) Lookup(pcid PCID, vpn pt.VPN) (Line, bool) {
 
 // Insert caches a translation (after a page walk). An existing entry for
 // the same key is replaced.
-func (t *TLB) Insert(pcid PCID, vpn pt.VPN, pfn mem.PFN, writable bool) {
+func (t *TLB) Insert(tag Tag, vpn pt.VPN, pfn mem.PFN, writable bool) {
 	t.Stats.Inserts++
-	k := Key{pcid, vpn}
+	k := Key{tag, vpn}
 	// Replace any stale duplicate first so tracker accounting stays exact.
 	t.dropKey(k)
 	t.promote(Line{Key: k, PFN: pfn, Writable: writable})
@@ -135,9 +151,9 @@ func (t *TLB) dropKey(k Key) {
 // Invalidate removes one page's entry (INVLPG), including any huge
 // translation covering the address. It reports whether an entry was
 // actually cached.
-func (t *TLB) Invalidate(pcid PCID, vpn pt.VPN) bool {
-	k := Key{pcid, vpn}
-	found := t.invalidateHugeCovering(pcid, vpn)
+func (t *TLB) Invalidate(tag Tag, vpn pt.VPN) bool {
+	k := Key{tag, vpn}
+	found := t.invalidateHugeCovering(tag, vpn)
 	if ln, ok := t.l1.remove(k); ok {
 		t.dropped(ln)
 		found = true
@@ -156,16 +172,16 @@ func (t *TLB) Invalidate(pcid PCID, vpn pt.VPN) bool {
 
 // InvalidateRange removes all entries for pages in [startVPN, endVPN),
 // including huge translations overlapping the range.
-func (t *TLB) InvalidateRange(pcid PCID, start, end pt.VPN) int {
+func (t *TLB) InvalidateRange(tag Tag, start, end pt.VPN) int {
 	n := 0
 	for vpn := start; vpn < end; vpn++ {
-		if t.Invalidate(pcid, vpn) {
+		if t.Invalidate(tag, vpn) {
 			n++
 		}
 	}
 	if t.huge != nil {
 		for base := pt.HugeBase(start); base < end; base += pt.HugePages {
-			if t.invalidateHugeCovering(pcid, base) {
+			if t.invalidateHugeCovering(tag, base) {
 				n++
 			}
 		}
@@ -180,10 +196,20 @@ func (t *TLB) FlushAll() {
 	t.flushHugeWhere(func(Line) bool { return true })
 }
 
-// FlushPCID removes all entries tagged with the given PCID.
-func (t *TLB) FlushPCID(p PCID) {
-	t.flushWhere(func(ln Line) bool { return ln.Key.PCID == p })
-	t.flushHugeWhere(func(ln Line) bool { return ln.Key.PCID == p })
+// FlushTag removes all entries with the given (VPID, PCID) tag — one
+// address-space context's translations, leaving every other context alone
+// (PCID-preserving CR3 write / INVVPID single-address-space).
+func (t *TLB) FlushTag(tag Tag) {
+	t.flushWhere(func(ln Line) bool { return ln.Key.Tag == tag })
+	t.flushHugeWhere(func(ln Line) bool { return ln.Key.Tag == tag })
+}
+
+// FlushVPID removes all entries of one virtual machine regardless of PCID
+// (INVVPID single-context). FlushVPID(0) drops every host entry while
+// preserving all guest translations.
+func (t *TLB) FlushVPID(v VPID) {
+	t.flushWhere(func(ln Line) bool { return ln.Key.Tag.VPID == v })
+	t.flushHugeWhere(func(ln Line) bool { return ln.Key.Tag.VPID == v })
 }
 
 func (t *TLB) flushWhere(pred func(Line) bool) {
@@ -221,8 +247,8 @@ func (t *TLB) Len() int {
 
 // Has reports whether a translation is cached at any level, without
 // touching LRU state or stats.
-func (t *TLB) Has(pcid PCID, vpn pt.VPN) bool {
-	k := Key{pcid, vpn}
+func (t *TLB) Has(tag Tag, vpn pt.VPN) bool {
+	k := Key{tag, vpn}
 	if t.l1.contains(k) {
 		return true
 	}
@@ -284,7 +310,8 @@ func (tr *Tracker) removeFromFrame(pfn mem.PFN, tk trackKey) {
 	}
 }
 
-// CachedOn returns the cores whose TLBs currently map pfn.
+// CachedOn returns the cores whose TLBs currently map pfn, in ascending
+// core order so audit reports derived from it are deterministic.
 func (tr *Tracker) CachedOn(pfn mem.PFN) []topo.CoreID {
 	s := tr.byFrame[pfn]
 	if len(s) == 0 {
@@ -298,6 +325,46 @@ func (tr *Tracker) CachedOn(pfn mem.PFN) []topo.CoreID {
 			out = append(out, k.core)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CachedEntry identifies one live TLB entry caching a frame: the owning
+// core and the (tag, VPN) key to invalidate it precisely.
+type CachedEntry struct {
+	Core topo.CoreID
+	Key  Key
+}
+
+// EntriesOn returns every TLB entry currently caching pfn, sorted for
+// deterministic iteration. Huge-translation shadow keys are reported with
+// the covered 4 KB VPN (the huge tracking bit stripped), so invalidating
+// the returned key always removes the entry. HATRIC-style hardware
+// coherence uses this as its per-entry sharer directory.
+func (tr *Tracker) EntriesOn(pfn mem.PFN) []CachedEntry {
+	s := tr.byFrame[pfn]
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]CachedEntry, 0, len(s))
+	for k := range s {
+		key := k.key
+		key.VPN &^= hugeTrackBit
+		out = append(out, CachedEntry{Core: k.core, Key: key})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		if a.Key.Tag.VPID != b.Key.Tag.VPID {
+			return a.Key.Tag.VPID < b.Key.Tag.VPID
+		}
+		if a.Key.Tag.PCID != b.Key.Tag.PCID {
+			return a.Key.Tag.PCID < b.Key.Tag.PCID
+		}
+		return a.Key.VPN < b.Key.VPN
+	})
 	return out
 }
 

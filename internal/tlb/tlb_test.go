@@ -15,11 +15,11 @@ func newT(l1, l2 int) (*TLB, *Tracker) {
 
 func TestLookupMissThenHit(t *testing.T) {
 	tb, _ := newT(4, 8)
-	if _, ok := tb.Lookup(0, 1); ok {
+	if _, ok := tb.Lookup(Tag{}, 1); ok {
 		t.Fatal("hit on empty TLB")
 	}
-	tb.Insert(0, 1, 100, true)
-	ln, ok := tb.Lookup(0, 1)
+	tb.Insert(Tag{}, 1, 100, true)
+	ln, ok := tb.Lookup(Tag{}, 1)
 	if !ok || ln.PFN != 100 || !ln.Writable {
 		t.Fatalf("Lookup = %+v, %v", ln, ok)
 	}
@@ -30,25 +30,25 @@ func TestLookupMissThenHit(t *testing.T) {
 
 func TestPCIDIsolation(t *testing.T) {
 	tb, _ := newT(4, 8)
-	tb.Insert(1, 7, 100, true)
-	if _, ok := tb.Lookup(2, 7); ok {
+	tb.Insert(Tag{PCID: 1}, 7, 100, true)
+	if _, ok := tb.Lookup(Tag{PCID: 2}, 7); ok {
 		t.Fatal("PCID 2 saw PCID 1's entry")
 	}
-	if _, ok := tb.Lookup(1, 7); !ok {
+	if _, ok := tb.Lookup(Tag{PCID: 1}, 7); !ok {
 		t.Fatal("PCID 1 lost its entry")
 	}
 }
 
 func TestL1EvictionDemotesToL2(t *testing.T) {
 	tb, _ := newT(2, 4)
-	tb.Insert(0, 1, 1, true)
-	tb.Insert(0, 2, 2, true)
-	tb.Insert(0, 3, 3, true) // evicts vpn 1 into L2
+	tb.Insert(Tag{}, 1, 1, true)
+	tb.Insert(Tag{}, 2, 2, true)
+	tb.Insert(Tag{}, 3, 3, true) // evicts vpn 1 into L2
 	if tb.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", tb.Len())
 	}
 	// vpn 1 should still hit (from L2) and be promoted.
-	if _, ok := tb.Lookup(0, 1); !ok {
+	if _, ok := tb.Lookup(Tag{}, 1); !ok {
 		t.Fatal("L2 victim lost")
 	}
 }
@@ -56,7 +56,7 @@ func TestL1EvictionDemotesToL2(t *testing.T) {
 func TestCapacityBound(t *testing.T) {
 	tb, tr := newT(4, 8)
 	for i := 0; i < 100; i++ {
-		tb.Insert(0, pt.VPN(i), mem.PFN(i), true)
+		tb.Insert(Tag{}, pt.VPN(i), mem.PFN(i), true)
 	}
 	if tb.Len() != 12 {
 		t.Fatalf("Len = %d, want L1+L2 = 12", tb.Len())
@@ -68,14 +68,14 @@ func TestCapacityBound(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	tb, tr := newT(4, 8)
-	tb.Insert(0, 5, 50, true)
-	if !tb.Invalidate(0, 5) {
+	tb.Insert(Tag{}, 5, 50, true)
+	if !tb.Invalidate(Tag{}, 5) {
 		t.Fatal("Invalidate missed cached entry")
 	}
-	if tb.Invalidate(0, 5) {
+	if tb.Invalidate(Tag{}, 5) {
 		t.Fatal("second Invalidate reported a hit")
 	}
-	if _, ok := tb.Lookup(0, 5); ok {
+	if _, ok := tb.Lookup(Tag{}, 5); ok {
 		t.Fatal("entry survived Invalidate")
 	}
 	if err := tr.AssertUnmapped(50); err != nil {
@@ -85,12 +85,12 @@ func TestInvalidate(t *testing.T) {
 
 func TestInvalidateInL2(t *testing.T) {
 	tb, _ := newT(1, 4)
-	tb.Insert(0, 1, 1, true)
-	tb.Insert(0, 2, 2, true) // vpn 1 now in L2
-	if !tb.Invalidate(0, 1) {
+	tb.Insert(Tag{}, 1, 1, true)
+	tb.Insert(Tag{}, 2, 2, true) // vpn 1 now in L2
+	if !tb.Invalidate(Tag{}, 1) {
 		t.Fatal("Invalidate missed L2 entry")
 	}
-	if tb.Has(0, 1) {
+	if tb.Has(Tag{}, 1) {
 		t.Fatal("L2 entry survived")
 	}
 }
@@ -98,14 +98,14 @@ func TestInvalidateInL2(t *testing.T) {
 func TestInvalidateRange(t *testing.T) {
 	tb, _ := newT(16, 16)
 	for i := 0; i < 10; i++ {
-		tb.Insert(0, pt.VPN(i), mem.PFN(i), true)
+		tb.Insert(Tag{}, pt.VPN(i), mem.PFN(i), true)
 	}
-	if n := tb.InvalidateRange(0, 3, 7); n != 4 {
+	if n := tb.InvalidateRange(Tag{}, 3, 7); n != 4 {
 		t.Fatalf("InvalidateRange removed %d, want 4", n)
 	}
 	for i := 0; i < 10; i++ {
 		want := i < 3 || i >= 7
-		if tb.Has(0, pt.VPN(i)) != want {
+		if tb.Has(Tag{}, pt.VPN(i)) != want {
 			t.Fatalf("vpn %d cached=%v, want %v", i, !want, want)
 		}
 	}
@@ -114,7 +114,7 @@ func TestInvalidateRange(t *testing.T) {
 func TestFlushAll(t *testing.T) {
 	tb, tr := newT(4, 8)
 	for i := 0; i < 10; i++ {
-		tb.Insert(PCID(i%3), pt.VPN(i), mem.PFN(i), true)
+		tb.Insert(Tag{PCID: PCID(i % 3)}, pt.VPN(i), mem.PFN(i), true)
 	}
 	tb.FlushAll()
 	if tb.Len() != 0 {
@@ -128,25 +128,57 @@ func TestFlushAll(t *testing.T) {
 	}
 }
 
-func TestFlushPCID(t *testing.T) {
+func TestFlushTag(t *testing.T) {
 	tb, _ := newT(8, 8)
-	tb.Insert(1, 1, 1, true)
-	tb.Insert(1, 2, 2, true)
-	tb.Insert(2, 3, 3, true)
-	tb.FlushPCID(1)
-	if tb.Has(1, 1) || tb.Has(1, 2) {
-		t.Fatal("PCID 1 entries survived FlushPCID")
+	tb.Insert(Tag{PCID: 1}, 1, 1, true)
+	tb.Insert(Tag{PCID: 1}, 2, 2, true)
+	tb.Insert(Tag{PCID: 2}, 3, 3, true)
+	tb.FlushTag(Tag{PCID: 1})
+	if tb.Has(Tag{PCID: 1}, 1) || tb.Has(Tag{PCID: 1}, 2) {
+		t.Fatal("PCID 1 entries survived FlushTag")
 	}
-	if !tb.Has(2, 3) {
-		t.Fatal("PCID 2 entry lost by FlushPCID(1)")
+	if !tb.Has(Tag{PCID: 2}, 3) {
+		t.Fatal("PCID 2 entry lost by FlushTag")
+	}
+}
+
+func TestVPIDIsolation(t *testing.T) {
+	tb, _ := newT(8, 8)
+	host := Tag{}
+	guest := Tag{VPID: 3}
+	tb.Insert(host, 7, 10, true)
+	tb.Insert(guest, 7, 20, true)
+	if ln, ok := tb.Lookup(host, 7); !ok || ln.PFN != 10 {
+		t.Fatalf("host entry = %+v, %v", ln, ok)
+	}
+	if ln, ok := tb.Lookup(guest, 7); !ok || ln.PFN != 20 {
+		t.Fatalf("guest entry = %+v, %v", ln, ok)
+	}
+}
+
+func TestFlushVPID(t *testing.T) {
+	tb, tr := newT(8, 8)
+	tb.Insert(Tag{VPID: 1, PCID: 1}, 1, 1, true)
+	tb.Insert(Tag{VPID: 1, PCID: 2}, 2, 2, true)
+	tb.Insert(Tag{VPID: 2}, 3, 3, true)
+	tb.Insert(Tag{}, 4, 4, true)
+	tb.FlushVPID(1)
+	if tb.Has(Tag{VPID: 1, PCID: 1}, 1) || tb.Has(Tag{VPID: 1, PCID: 2}, 2) {
+		t.Fatal("VPID 1 entries survived FlushVPID(1) across PCIDs")
+	}
+	if !tb.Has(Tag{VPID: 2}, 3) || !tb.Has(Tag{}, 4) {
+		t.Fatal("foreign-VPID entries lost by FlushVPID(1)")
+	}
+	if err := tr.AssertUnmapped(1); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestInsertReplacesStaleMapping(t *testing.T) {
 	tb, tr := newT(4, 8)
-	tb.Insert(0, 1, 100, true)
-	tb.Insert(0, 1, 200, false) // remapped to a new frame
-	ln, ok := tb.Lookup(0, 1)
+	tb.Insert(Tag{}, 1, 100, true)
+	tb.Insert(Tag{}, 1, 200, false) // remapped to a new frame
+	ln, ok := tb.Lookup(Tag{}, 1)
 	if !ok || ln.PFN != 200 || ln.Writable {
 		t.Fatalf("Lookup = %+v", ln)
 	}
@@ -162,8 +194,8 @@ func TestTrackerCachedOn(t *testing.T) {
 	tr := NewTracker()
 	a := New(1, 4, 0, tr)
 	b := New(2, 4, 0, tr)
-	a.Insert(0, 9, 99, true)
-	b.Insert(0, 9, 99, true)
+	a.Insert(Tag{}, 9, 99, true)
+	b.Insert(Tag{}, 9, 99, true)
 	cores := tr.CachedOn(99)
 	if len(cores) != 2 {
 		t.Fatalf("CachedOn = %v", cores)
@@ -171,7 +203,7 @@ func TestTrackerCachedOn(t *testing.T) {
 	if err := tr.AssertUnmapped(99); err == nil {
 		t.Fatal("AssertUnmapped should fail while cached")
 	}
-	a.Invalidate(0, 9)
+	a.Invalidate(Tag{}, 9)
 	b.FlushAll()
 	if err := tr.AssertUnmapped(99); err != nil {
 		t.Fatal(err)
@@ -180,9 +212,9 @@ func TestTrackerCachedOn(t *testing.T) {
 
 func TestNoL2(t *testing.T) {
 	tb, tr := newT(2, 0)
-	tb.Insert(0, 1, 1, true)
-	tb.Insert(0, 2, 2, true)
-	tb.Insert(0, 3, 3, true)
+	tb.Insert(Tag{}, 1, 1, true)
+	tb.Insert(Tag{}, 2, 2, true)
+	tb.Insert(Tag{}, 3, 3, true)
 	if tb.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", tb.Len())
 	}
@@ -193,18 +225,18 @@ func TestNoL2(t *testing.T) {
 
 func TestNilTrackerOK(t *testing.T) {
 	tb := New(0, 4, 4, nil)
-	tb.Insert(0, 1, 1, true)
-	tb.Invalidate(0, 1)
+	tb.Insert(Tag{}, 1, 1, true)
+	tb.Invalidate(Tag{}, 1)
 	tb.FlushAll()
 }
 
 func TestLRUOrder(t *testing.T) {
 	c := newLRU(3)
 	for i := 1; i <= 3; i++ {
-		c.put(Line{Key: Key{0, pt.VPN(i)}, PFN: mem.PFN(i)})
+		c.put(Line{Key: Key{Tag{}, pt.VPN(i)}, PFN: mem.PFN(i)})
 	}
-	c.get(Key{0, 1}) // 1 becomes MRU; LRU is 2
-	v, ev := c.put(Line{Key: Key{0, 4}, PFN: 4})
+	c.get(Key{Tag{}, 1}) // 1 becomes MRU; LRU is 2
+	v, ev := c.put(Line{Key: Key{Tag{}, 4}, PFN: 4})
 	if !ev || v.Key.VPN != 2 {
 		t.Fatalf("evicted %+v, want vpn 2", v)
 	}
@@ -212,12 +244,12 @@ func TestLRUOrder(t *testing.T) {
 
 func TestLRUUpdateInPlace(t *testing.T) {
 	c := newLRU(2)
-	c.put(Line{Key: Key{0, 1}, PFN: 1})
-	c.put(Line{Key: Key{0, 1}, PFN: 9})
+	c.put(Line{Key: Key{Tag{}, 1}, PFN: 1})
+	c.put(Line{Key: Key{Tag{}, 1}, PFN: 9})
 	if c.len() != 1 {
 		t.Fatalf("len = %d", c.len())
 	}
-	ln, _ := c.get(Key{0, 1})
+	ln, _ := c.get(Key{Tag{}, 1})
 	if ln.PFN != 9 {
 		t.Fatalf("update lost: %+v", ln)
 	}
@@ -238,9 +270,9 @@ func TestPropertyTrackerMatchesTLBContents(t *testing.T) {
 			vpn := pt.VPN(o.VPN % 32)
 			switch o.Kind % 4 {
 			case 0, 1:
-				tb.Insert(0, vpn, mem.PFN(o.PFN), true)
+				tb.Insert(Tag{}, vpn, mem.PFN(o.PFN), true)
 			case 2:
-				tb.Invalidate(0, vpn)
+				tb.Invalidate(Tag{}, vpn)
 			case 3:
 				if o.VPN%16 == 0 {
 					tb.FlushAll()
@@ -250,11 +282,11 @@ func TestPropertyTrackerMatchesTLBContents(t *testing.T) {
 		// Every cached vpn must be tracked on core 0 with its PFN.
 		count := 0
 		for vpn := pt.VPN(0); vpn < 32; vpn++ {
-			if !tb.Has(0, vpn) {
+			if !tb.Has(Tag{}, vpn) {
 				continue
 			}
 			count++
-			ln, _ := tb.Lookup(0, vpn)
+			ln, _ := tb.Lookup(Tag{}, vpn)
 			found := false
 			for _, c := range tr.CachedOn(ln.PFN) {
 				if c == 0 {
@@ -313,9 +345,9 @@ func BenchmarkTLBInsertInvalidateChurn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vpn := pt.VPN(i % 512)
-		tb.Insert(1, vpn, mem.PFN(vpn)+1, true)
+		tb.Insert(Tag{PCID: 1}, vpn, mem.PFN(vpn)+1, true)
 		if i%4 == 3 {
-			tb.InvalidateRange(1, vpn-3, vpn+1)
+			tb.InvalidateRange(Tag{PCID: 1}, vpn-3, vpn+1)
 		}
 	}
 }

@@ -1,0 +1,70 @@
+package vm
+
+import (
+	"fmt"
+
+	"latr/internal/mem"
+)
+
+// GuestPhys is one virtual machine's guest-physical frame allocator: the
+// "RAM" the guest kernel believes it owns. Guest page tables store these
+// frame numbers; the hypervisor's EPT decides which host frames (if any)
+// back them. It is a simple bump allocator with a LIFO free list — like
+// mem.Allocator it hands frames back most-recently-freed first, which is
+// exactly the reuse pattern that exposes missing invalidations.
+type GuestPhys struct {
+	size  mem.PFN
+	next  mem.PFN
+	free  []mem.PFN
+	inUse int
+	out   map[mem.PFN]bool
+}
+
+// NewGuestPhys builds an allocator for a guest with `frames` guest-physical
+// frames.
+func NewGuestPhys(frames int) *GuestPhys {
+	if frames <= 0 {
+		panic("vm: guest-physical size must be positive")
+	}
+	return &GuestPhys{size: mem.PFN(frames), out: make(map[mem.PFN]bool)}
+}
+
+// Alloc hands out one guest-physical frame.
+func (g *GuestPhys) Alloc() (mem.PFN, error) {
+	var pfn mem.PFN
+	switch {
+	case len(g.free) > 0:
+		pfn = g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+	case g.next < g.size:
+		pfn = g.next
+		g.next++
+	default:
+		return 0, fmt.Errorf("vm: guest-physical memory exhausted (%d frames)", g.size)
+	}
+	if g.out[pfn] {
+		panic(fmt.Sprintf("vm: guest frame %d handed out twice", pfn))
+	}
+	g.out[pfn] = true
+	g.inUse++
+	return pfn, nil
+}
+
+// Put returns a guest-physical frame.
+func (g *GuestPhys) Put(pfn mem.PFN) {
+	if !g.out[pfn] {
+		panic(fmt.Sprintf("vm: guest frame %d freed while not allocated", pfn))
+	}
+	delete(g.out, pfn)
+	g.inUse--
+	g.free = append(g.free, pfn)
+}
+
+// Live reports whether pfn is currently allocated.
+func (g *GuestPhys) Live(pfn mem.PFN) bool { return g.out[pfn] }
+
+// InUse returns the number of allocated guest frames.
+func (g *GuestPhys) InUse() int { return g.inUse }
+
+// Size returns the guest-physical memory size in frames.
+func (g *GuestPhys) Size() int { return int(g.size) }

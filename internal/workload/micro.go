@@ -38,13 +38,19 @@ func NewMicro(cfg MicroConfig) *Micro {
 	return &Micro{cfg: cfg}
 }
 
-// Setup spawns the benchmark threads.
+// Setup spawns the benchmark threads in a fresh native process.
 func (m *Micro) Setup(k *kernel.Kernel) {
+	m.SetupProcess(k, k.NewProcess())
+}
+
+// SetupProcess spawns the benchmark threads into p, which may be a guest
+// process — the whole benchmark then runs inside a VM, its cores become
+// vCPUs, and every shootdown IPI traps through the hypervisor.
+func (m *Micro) SetupProcess(k *kernel.Kernel, p *kernel.Process) {
 	m.k = k
 	m.b0 = NewBarrier(k, m.cfg.Cores)
 	m.b1 = NewBarrier(k, m.cfg.Cores)
 	m.b2 = NewBarrier(k, m.cfg.Cores)
-	p := k.NewProcess()
 
 	// Initiator on core 0.
 	step := 0

@@ -568,6 +568,13 @@ func GenerateLitmus(seed uint64, count int) []*LitmusScenario {
 	return litmus.GenerateMany(seed, count)
 }
 
+// GenerateVirtLitmus builds count deterministic two-level scenarios from
+// consecutive seeds starting at seed: guest threads inside one or two VMs
+// with a host thread ballooning or migrating underneath them.
+func GenerateVirtLitmus(seed uint64, count int) []*LitmusScenario {
+	return litmus.GenerateManyVirt(seed, count)
+}
+
 // ParseLitmus parses the compact litmus text format.
 func ParseLitmus(text string) (*LitmusScenario, error) { return litmus.Parse(text) }
 
