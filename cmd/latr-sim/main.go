@@ -46,6 +46,13 @@
 //
 //	latr-sim -virt
 //	latr-sim -virt -quick -parallel 4
+//
+// Ptrepl mode renders the page-table replication table: the numaPTE-style
+// replication-policy axis (none, replicate-all, adaptive) crossed with
+// eager vs LATR-lazy replica maintenance on both reference machines:
+//
+//	latr-sim -ptrepl
+//	latr-sim -ptrepl -quick -parallel 4
 package main
 
 import (
@@ -115,8 +122,9 @@ func main() {
 		clusterHdg  = flag.Duration("cluster-hedge", time.Millisecond, "cluster: hedge delay for a duplicate attempt (0 disables hedging)")
 		clusterSh   = flag.Int("cluster-shards", 0, "cluster: event-engine shards per cell (0 = sequential; results are byte-identical at any count)")
 
-		virtOn    = flag.Bool("virt", false, "run the virtualized two-level coherence table (guest munmap + host balloon per policy x machine) instead of a workload")
-		virtQuick = flag.Bool("quick", false, "virt: smaller runs, same shapes")
+		virtOn   = flag.Bool("virt", false, "run the virtualized two-level coherence table (guest munmap + host balloon per policy x machine) instead of a workload")
+		ptreplOn = flag.Bool("ptrepl", false, "run the page-table replication table (policy x replication mode x machine) instead of a workload")
+		tblQuick = flag.Bool("quick", false, "virt/ptrepl: smaller runs, same shapes")
 
 		litmusOn   = flag.Bool("litmus", false, "run the litmus corpus through the differential oracle instead of a workload")
 		litmusGen  = flag.Int("litmus-gen", 0, "litmus: also run this many generated scenarios")
@@ -129,7 +137,11 @@ func main() {
 	flag.Parse()
 
 	if *virtOn {
-		os.Exit(runVirt(*virtQuick, *seed, *parallel))
+		os.Exit(runVirt(*tblQuick, *seed, *parallel))
+	}
+
+	if *ptreplOn {
+		os.Exit(runPtrepl(*tblQuick, *seed, *parallel))
 	}
 
 	if *litmusOn {
@@ -524,6 +536,18 @@ func runVirt(quick bool, seed uint64, parallel int) int {
 		return 1
 	}
 	fmt.Println(tbl)
+	return 0
+}
+
+// runPtrepl renders the page-table replication table: the replication
+// policy axis crossed with eager vs LATR-lazy replica maintenance on both
+// reference machines.
+func runPtrepl(quick bool, seed uint64, parallel int) int {
+	fmt.Println(latr.RunPtreplExperiment(latr.ExperimentOptions{
+		Quick:   quick,
+		Seed:    seed,
+		Workers: parallel,
+	}))
 	return 0
 }
 

@@ -203,6 +203,14 @@ func (p *Policy) HostMode() kernel.HostMode { return kernel.HostLazy }
 // Config returns the active configuration.
 func (p *Policy) Config() Config { return p.cfg }
 
+// LazyReplicaSweeps marks LATR as a lazy-capable driver for page-table
+// replica maintenance (internal/ptrepl): parked replica invalidations are
+// guaranteed to drain, because every active state is eventually swept
+// (ReplSweepApply below), force-swept, or completed, and the reclaim pass
+// force-drains before any frame is freed. Policies without this marker
+// make ptrepl degrade lazy configurations to eager updates.
+func (p *Policy) LazyReplicaSweeps() bool { return true }
+
 // targetsMask computes the shootdown target set as a bitmask. LATR only
 // needs set membership, so it uses the kernel's allocation-free mask variant
 // (same semantics as ShootdownTargets, including the lazy-TLB skip).
@@ -273,6 +281,9 @@ func (p *Policy) Munmap(c *kernel.Core, u kernel.Unmap, done func()) {
 				freeCost := sim.Time(len(u.Frames)) * k.Cost.FreePerPage
 				u.Span.Mark(obs.PhaseReclaim, c.ID, k.Now(), freeCost)
 				c.Busy(freeCost, false, func() {
+					// Replica invalidations parked for this range ride the
+					// sync fallback: drain them before the frames free.
+					k.ReplComplete(u.MM, u.Start, u.Pages)
 					k.ReleaseFrames(u.Frames)
 					if !u.KeepVMA {
 						k.ReleaseVA(u.MM, u.Start, u.Pages)
@@ -462,6 +473,10 @@ func (p *Policy) sweep(c *kernel.Core) sim.Time {
 			cost += sim.Time(st.Pages) * m.InvlpgLocal
 		}
 		cost += m.LATRSweepPerEntry
+		// Replica invalidations parked for this core's socket apply on the
+		// same visit (the ptrepl lazy ablation: replica maintenance rides
+		// the sweep instead of eager remote stores).
+		cost += k.ReplSweepApply(c, st.MM, st.Start, st.Pages)
 		k.Metrics.Observe("latr.sweep_visit", m.LATRSweepPerEntry)
 		if st.span != nil {
 			st.span.MarkLazy(obs.PhaseInvalidate, c.ID, visitBegin, k.Now()+cost-visitBegin)
@@ -484,6 +499,10 @@ func (p *Policy) sweep(c *kernel.Core) sim.Time {
 func (p *Policy) completeState(st *State, by topo.CoreID, at sim.Time) {
 	st.Active = false
 	p.activeCount[st.owner]--
+	// Quiesce point: any replica invalidation for this range still parked
+	// on a socket whose cores never swept it (no replica there, or the
+	// sweep raced the completion) drains now, before reclaim can free.
+	p.k.ReplComplete(st.MM, st.Start, st.Pages)
 	p.k.Metrics.Inc("latr.states_completed", 1)
 	p.k.Metrics.Observe("latr.state_lifetime", p.k.Now()-st.recordedAt)
 	if sp := st.span; sp != nil {
@@ -629,6 +648,9 @@ func (p *Policy) reclaimPass(now sim.Time) {
 				continue
 			}
 		}
+		// States with no remote participants never sweep, so their parked
+		// replica invalidations drain here, at the frame-free boundary.
+		k.ReplComplete(e.u.MM, e.u.Start, e.u.Pages)
 		k.ReleaseFrames(e.u.Frames)
 		if !e.u.KeepVMA {
 			e.u.MM.Space.ReleaseLazy(e.u.Start, e.u.Pages)

@@ -203,6 +203,32 @@ type Model struct {
 	// hypervisor level.
 	HostLazyReclaim sim.Time
 
+	// --- Page-table replication (anchor: numaPTE, Gao et al. 2024 —
+	// replicate/migrate page-table pages so walks hit local DRAM; the
+	// win is the walk-latency gap between local and remote PTE fetches,
+	// the price is propagating every PTE store to all replicas) ---
+
+	// ReplWalkRemote is the added cost of a hardware walk whose
+	// page-table pages live on a remote socket, indexed by hops. Derived
+	// from the DRAM tables in Default: the lower walk levels are
+	// MMU-cached, so a remote walk pays the local/remote gap on roughly
+	// the leaf-side references (4 at one hop, 6 across the directory).
+	ReplWalkRemote [3]sim.Time
+	// ReplPTEStore is the per-entry cost of propagating one PTE store to
+	// a replica, indexed by hops (a cacheline write plus ownership
+	// transfer on the replica's home socket).
+	ReplPTEStore [3]sim.Time
+	// ReplTableCopy is the cost of copying one page-table page when
+	// creating or migrating a replica (same fabric as page migration).
+	ReplTableCopy sim.Time
+	// ReplLazyPark is the munmap-time cost of parking one replica
+	// invalidation on the LATR per-core queues instead of storing to the
+	// remote replica eagerly (same bookkeeping as LATRLazyPerPage).
+	ReplLazyPark sim.Time
+	// ReplLazyApply is the per-entry cost of applying a parked replica
+	// invalidation when a sweep visits it (same order as a sweep entry).
+	ReplLazyApply sim.Time
+
 	// --- HATRIC-style hardware coherence (anchor: Yan et al. §5 — precise
 	// per-entry invalidation propagated over the coherence fabric, no
 	// interrupts and no VM exits on either side) ---
@@ -301,6 +327,14 @@ func Default(spec topo.Spec) Model {
 		// machine; propagation roughly doubles.
 		m.HATRICPropagation = 400
 	}
+	// Page-table replication constants derive from the final DRAM/fabric
+	// values so both machines keep a consistent local-vs-remote walk gap.
+	gap := m.DRAMRemote - m.DRAMLocal
+	m.ReplWalkRemote = [3]sim.Time{0, 4 * gap, 6 * gap}
+	m.ReplPTEStore = [3]sim.Time{m.DRAMLocal, m.DRAMRemote, m.DRAMRemote + gap}
+	m.ReplTableCopy = m.PageCopy
+	m.ReplLazyPark = m.LATRLazyPerPage
+	m.ReplLazyApply = m.LATRSweepPerEntry
 	return m
 }
 

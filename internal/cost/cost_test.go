@@ -219,3 +219,39 @@ func TestFig6Arithmetic(t *testing.T) {
 		t.Errorf("16-core shootdown estimate = %v, want ~6us (Fig 6)", total)
 	}
 }
+
+// TestReplHopCostsMonotone pins the hop-indexed replication constants on
+// both reference machines: walking a remote master costs strictly more per
+// interconnect hop, a local walk costs nothing extra, and a replica PTE
+// store grows with distance but never reaches IPI territory — the premise
+// of the eager-vs-lazy maintenance trade.
+func TestReplHopCostsMonotone(t *testing.T) {
+	for _, spec := range []topo.Spec{topo.TwoSocket16(), topo.EightSocket120()} {
+		m := Default(spec)
+		if m.ReplWalkRemote[0] != 0 {
+			t.Errorf("%s: local walk surcharge = %v, want 0", spec.Name, m.ReplWalkRemote[0])
+		}
+		if m.DRAMLocal <= 0 || m.DRAMRemote <= m.DRAMLocal {
+			t.Errorf("%s: DRAM latencies inverted: local %v, remote %v", spec.Name, m.DRAMLocal, m.DRAMRemote)
+		}
+		for h := 1; h <= spec.MaxHops(); h++ {
+			if m.ReplWalkRemote[h] <= m.ReplWalkRemote[h-1] {
+				t.Errorf("%s: ReplWalkRemote not strictly increasing at hop %d: %v", spec.Name, h, m.ReplWalkRemote)
+			}
+			if m.ReplPTEStore[h] <= m.ReplPTEStore[h-1] {
+				t.Errorf("%s: ReplPTEStore not strictly increasing at hop %d: %v", spec.Name, h, m.ReplPTEStore)
+			}
+			if m.IPIDeliver[h] <= m.IPIDeliver[h-1] {
+				t.Errorf("%s: IPIDeliver not strictly increasing at hop %d: %v", spec.Name, h, m.IPIDeliver)
+			}
+		}
+		// A remote walk must cost more than a remote DRAM access (it is
+		// several dependent accesses) yet stay far below one IPI round.
+		if m.ReplWalkRemote[1] <= m.DRAMRemote-m.DRAMLocal {
+			t.Errorf("%s: one-hop walk surcharge %v should exceed one remote-access gap", spec.Name, m.ReplWalkRemote[1])
+		}
+		if max := m.ReplPTEStore[2]; max >= m.IPIDeliver[1] {
+			t.Errorf("%s: per-entry replica store %v should stay below a 1-hop IPI %v", spec.Name, max, m.IPIDeliver[1])
+		}
+	}
+}

@@ -307,6 +307,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return Cluster(o), nil
 	case "virt":
 		return Virt(o), nil
+	case "ptrepl":
+		return Ptrepl(o), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -326,6 +328,6 @@ func PaperIDs() []string {
 func IDs() []string {
 	return append(PaperIDs(),
 		"abl-depth", "abl-sweep", "abl-delay", "abl-transport", "abl-variants",
-		"abl-thp", "cluster", "virt",
+		"abl-thp", "cluster", "virt", "ptrepl",
 	)
 }

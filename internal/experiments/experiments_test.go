@@ -217,7 +217,7 @@ func TestByIDAndIDsAgree(t *testing.T) {
 	if _, err := ByID("bogus", quick); err == nil {
 		t.Error("ByID accepted bogus id")
 	}
-	if len(IDs()) != 23 {
+	if len(IDs()) != 24 {
 		t.Errorf("IDs() = %d entries", len(IDs()))
 	}
 	if len(PaperIDs()) != 15 {

@@ -151,6 +151,7 @@ func (c *Core) handleFault(th *Thread, vpn pt.VPN, write bool, e pt.Entry, cont 
 		c.TLB.Insert(c.pcid(mm), vpn, hpfn, vma.Writable)
 		k.Metrics.Inc("fault.demand", 1)
 		hook := k.policy.OnPageTouch(c, mm, vpn)
+		hook += k.ReplUpdateRange(c, mm, vpn, 1)
 		c.busy(k.Cost.MmapSetupPerPage+hook+extra, false, func() {
 			mm.Sem.ReleaseRead()
 			cont()

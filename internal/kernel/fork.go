@@ -94,7 +94,7 @@ func (c *Core) doFork(th *Thread) {
 					mm.PT.SetProtection(vpn, false)
 				}
 				shared++
-				cost += m.PTEClearPerPage
+				cost += m.PTEClearPerPage + k.ReplUpdateRange(c, mm, vpn, 1)
 			}
 		}
 		// The parent's own TLB drops its writable entries now; remote cores
@@ -156,7 +156,7 @@ func (c *Core) breakCoW(th *Thread, vpn pt.VPN, cont func()) {
 			c.TLB.Invalidate(c.pcid(mm), vpn)
 			c.TLB.Insert(c.pcid(mm), vpn, hpfn, true)
 			k.Metrics.Inc("fault.cow_reuse", 1)
-			c.busy(m.PTEClearPerPage+m.InvlpgLocal+extra, false, func() {
+			c.busy(m.PTEClearPerPage+m.InvlpgLocal+extra+k.ReplUpdateRange(c, mm, vpn, 1), false, func() {
 				mm.Sem.ReleaseRead()
 				cont()
 			})
@@ -187,7 +187,7 @@ func (c *Core) breakCoW(th *Thread, vpn pt.VPN, cont func()) {
 		k.Metrics.Inc("fault.cow_break", 1)
 		sp := k.Spans.Begin(obs.KindSync, c.ID, vpn, 1, k.Now())
 		tB := k.Now()
-		c.busy(m.PageCopy+m.PTEClearPerPage, false, func() {
+		c.busy(m.PageCopy+m.PTEClearPerPage+k.ReplUpdateRange(c, mm, vpn, 1), false, func() {
 			sp.Mark(obs.PhaseInitiate, c.ID, tB, k.Now()-tB)
 			c.SetSpan(sp)
 			// The old shared translation must die system-wide before the
@@ -228,6 +228,11 @@ func (k *Kernel) ReleaseAddressSpace(c *Core, th *Thread, p *Process, done func(
 			}
 			mm.Space.RemoveRange(v.Start, v.End)
 			k.notifySwapUnmap(mm, v.Start, int(v.End-v.Start))
+			// Exit teardown drops whole page tables; replicas go with them
+			// rather than absorbing per-PTE stores, but any invalidation
+			// still parked for this range must drain before the frames are
+			// handed to the policy's free path.
+			k.ReplComplete(mm, v.Start, int(v.End-v.Start))
 		}
 		c.flushMM(mm)
 		// Pages past the full-flush threshold make every policy (IPI

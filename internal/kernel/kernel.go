@@ -87,6 +87,7 @@ type Kernel struct {
 	numa     NUMAHandler
 	swap     SwapHandler
 	injector FaultInjector
+	repl     ReplHandler
 
 	liveThreads int
 }
@@ -309,6 +310,9 @@ func (k *Kernel) threadExited(c *Core, th *Thread) {
 	k.liveThreads--
 	if mm.threads == 0 {
 		k.policy.OnMMExit(mm)
+		if k.repl != nil {
+			k.repl.OnMMExit(mm)
+		}
 	}
 }
 

@@ -243,7 +243,9 @@ func (c *Core) touchPages(th *Thread, pages []pt.VPN, write bool, accesses int, 
 		}
 		// TLB miss: hardware walk (huge-aware; two-dimensional for guests,
 		// which may take an EPT violation to re-back a reclaimed frame).
-		acc += m.PTWalk
+		// With page-table replication installed the walk is routed to the
+		// socket-local replica or charged the remote-master penalty.
+		acc += k.replWalkCost(c, mm, vpn)
 		e, huge, ok := mm.PT.WalkAny(vpn, write)
 		if ok {
 			hpfn, extra, err := c.framePhys(mm, e.PFN)
@@ -264,6 +266,37 @@ func (c *Core) touchPages(th *Thread, pages []pt.VPN, write bool, accesses int, 
 			}
 			acc += k.policy.OnPageTouch(c, mm, vpn)
 			acc += sim.Time(accesses) * c.dramCost(myNode, hpfn)
+			continue
+		}
+		// The master walk failed. A replica that has not yet absorbed a
+		// lazily propagated unmap may still serve the old translation —
+		// the replica-level analogue of a stale TLB entry. The access
+		// completes through it (and lands in the TLB like any walk); the
+		// auditor's stale-use machinery judges whether the backing frame
+		// was still reference-held or already reallocated.
+		if se, stale := k.replStaleWalk(c, mm, vpn, write); stale {
+			c.TLB.Insert(pcid, vpn, se.PFN, se.Writable)
+			if write {
+				k.Metrics.Inc("race.stale_write", 1)
+			} else {
+				k.Metrics.Inc("race.stale_read", 1)
+			}
+			if k.Audit != nil && k.Alloc.Refs(se.PFN) == 0 {
+				k.Metrics.Inc("audit.stale_use", 1)
+				kind := "read"
+				if write {
+					kind = "write"
+				}
+				k.Audit.Report(tlb.Violation{
+					Kind:   tlb.ViolationStaleUse,
+					Time:   k.Now(),
+					Core:   c.ID,
+					VPN:    vpn,
+					PFN:    se.PFN,
+					Detail: fmt.Sprintf("stale %s served by page-table replica over freed frame (mm %d)", kind, mm.ID),
+				})
+			}
+			acc += sim.Time(accesses) * c.dramCost(myNode, se.PFN)
 			continue
 		}
 		// Fault. Pay the accumulated access cost plus fault entry, then

@@ -1,0 +1,116 @@
+package kernel
+
+import (
+	"latr/internal/pt"
+	"latr/internal/sim"
+)
+
+// ReplHandler is the page-table replication hook surface (implemented by
+// internal/ptrepl). The kernel consults it on every hardware walk and on
+// every PTE store so a per-socket replica layer can charge local-vs-remote
+// walk latency and keep replicas coherent. All methods run at the call
+// site's virtual time and return added cost; they must not block.
+//
+// With no handler installed every forwarder below is a no-op and the walk
+// cost collapses to the flat Cost.PTWalk, so the legacy policies reproduce
+// their exact pre-ptrepl timings bit for bit.
+type ReplHandler interface {
+	// WalkCost replaces the flat PTWalk charge on a TLB miss: the walk is
+	// routed to the socket-local replica when one exists, or to the remote
+	// master across the interconnect.
+	WalkCost(c *Core, mm *MM, vpn pt.VPN) sim.Time
+	// StaleWalk is consulted when the master walk fails: a replica that
+	// has not yet absorbed a lazily propagated unmap may still serve the
+	// old translation (the replica-level analogue of a stale TLB entry).
+	StaleWalk(c *Core, mm *MM, vpn pt.VPN, write bool) (pt.Entry, bool)
+	// Unmap propagates one cleared PTE to the replicas — eagerly (remote
+	// stores inline) or lazily (parked for the LATR sweeps). old is the
+	// entry the master just dropped.
+	Unmap(c *Core, mm *MM, vpn pt.VPN, old pt.Entry) sim.Time
+	// Update propagates PTE installs/permission changes for a range.
+	// Always eager: Table 1 allows laziness only for frees.
+	Update(c *Core, mm *MM, start pt.VPN, pages int) sim.Time
+	// SweepApply lets a LATR sweep on core c apply the invalidations
+	// parked for c's socket against [start, start+pages).
+	SweepApply(c *Core, mm *MM, start pt.VPN, pages int) sim.Time
+	// ForceApply drains every parked invalidation for the range on all
+	// replicas — the sync-fallback/completion path, called before the
+	// frames backing the range are freed.
+	ForceApply(mm *MM, start pt.VPN, pages int)
+	// OnMMExit force-applies and frees all replica state for mm.
+	OnMMExit(mm *MM)
+	// Snapshot reports live replica tables and still-parked stale entries
+	// for mm (consistency accounting for SnapshotMM and the auditor).
+	Snapshot(mm *MM) (replicas, stale int)
+}
+
+// SetReplHandler installs the page-table replication handler.
+func (k *Kernel) SetReplHandler(h ReplHandler) { k.repl = h }
+
+// ReplHandlerInstalled reports whether a replication handler is active.
+func (k *Kernel) ReplHandlerInstalled() bool { return k.repl != nil }
+
+// replWalkCost charges one hardware walk, routed through the replica
+// layer when installed.
+func (k *Kernel) replWalkCost(c *Core, mm *MM, vpn pt.VPN) sim.Time {
+	if k.repl == nil {
+		return k.Cost.PTWalk
+	}
+	return k.repl.WalkCost(c, mm, vpn)
+}
+
+// replStaleWalk asks the replica layer to serve a failed master walk from
+// a not-yet-invalidated replica entry.
+func (k *Kernel) replStaleWalk(c *Core, mm *MM, vpn pt.VPN, write bool) (pt.Entry, bool) {
+	if k.repl == nil {
+		return pt.Entry{}, false
+	}
+	return k.repl.StaleWalk(c, mm, vpn, write)
+}
+
+// ReplUnmapPTE propagates one cleared PTE to the replicas, returning the
+// added initiator cost. Exported for kernel extensions that clear PTEs
+// outside the syscall layer (the swapper's evictions).
+func (k *Kernel) ReplUnmapPTE(c *Core, mm *MM, vpn pt.VPN, old pt.Entry) sim.Time {
+	if k.repl == nil {
+		return 0
+	}
+	return k.repl.Unmap(c, mm, vpn, old)
+}
+
+// ReplUpdateRange propagates PTE installs/changes for a range to the
+// replicas, returning the added initiator cost. Exported for kernel
+// extensions that install PTEs outside the syscall layer (swap-in,
+// AutoNUMA migration).
+func (k *Kernel) ReplUpdateRange(c *Core, mm *MM, start pt.VPN, pages int) sim.Time {
+	if k.repl == nil {
+		return 0
+	}
+	return k.repl.Update(c, mm, start, pages)
+}
+
+// ReplSweepApply lets a policy sweep apply parked replica invalidations
+// for its core's socket (called from the LATR sweep loop).
+func (k *Kernel) ReplSweepApply(c *Core, mm *MM, start pt.VPN, pages int) sim.Time {
+	if k.repl == nil {
+		return 0
+	}
+	return k.repl.SweepApply(c, mm, start, pages)
+}
+
+// ReplComplete force-drains parked replica invalidations for a range;
+// policies call it when a lazy state completes (or falls back to sync
+// IPIs) and the range's frames are about to be freed.
+func (k *Kernel) ReplComplete(mm *MM, start pt.VPN, pages int) {
+	if k.repl != nil {
+		k.repl.ForceApply(mm, start, pages)
+	}
+}
+
+// replSnapshot reports replica consistency counters for SnapshotMM.
+func (k *Kernel) replSnapshot(mm *MM) (replicas, stale int) {
+	if k.repl == nil {
+		return 0, 0
+	}
+	return k.repl.Snapshot(mm)
+}

@@ -36,6 +36,13 @@ type MMSnapshot struct {
 	// mappings leaked past their region teardown. Always zero on a healthy
 	// kernel.
 	Orphans int
+	// ReplReplicas and ReplStale count live per-socket page-table
+	// replicas and still-parked replica invalidations (internal/ptrepl).
+	// A drained address space has zero stale entries; a torn-down one has
+	// zero replicas — the replica-consistency invariants the litmus
+	// runner checks at end of run.
+	ReplReplicas int
+	ReplStale    int
 }
 
 // SnapshotMM captures the architectural state of mm: VMA layout, every
@@ -61,6 +68,7 @@ func (k *Kernel) SnapshotMM(mm *MM) MMSnapshot {
 	}
 	s.Orphans = (mm.PT.Mapped() - counted4k) +
 		(mm.PT.MappedHuge()-len(countedHuge))*pt.HugePages
+	s.ReplReplicas, s.ReplStale = k.replSnapshot(mm)
 	return s
 }
 
@@ -70,7 +78,13 @@ func (k *Kernel) SnapshotMM(mm *MM) MMSnapshot {
 // shifts bases between policies.
 func (s MMSnapshot) Canonical() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mm%d lazy=%d orphans=%d vmas=", s.ID, s.LazyPages, s.Orphans)
+	fmt.Fprintf(&b, "mm%d lazy=%d orphans=%d", s.ID, s.LazyPages, s.Orphans)
+	if s.ReplReplicas != 0 || s.ReplStale != 0 {
+		// Only rendered when a replication layer is live, keeping the
+		// legacy byte format for every non-ptrepl run.
+		fmt.Fprintf(&b, " repl=%d stale=%d", s.ReplReplicas, s.ReplStale)
+	}
+	b.WriteString(" vmas=")
 	for i, v := range s.VMAs {
 		if i > 0 {
 			b.WriteByte(',')

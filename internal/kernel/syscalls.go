@@ -99,6 +99,7 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 			// Wiring one 2 MB mapping costs roughly one PMD entry plus the
 			// (cheap, contiguous) frame clear amortisation.
 			cost += sim.Time(o.Pages/pt.HugePages) * 8 * m.MmapSetupPerPage
+			cost += k.ReplUpdateRange(c, mm, start, o.Pages)
 			k.Metrics.Inc("sys.mmap_huge", 1)
 		case o.Populate:
 			for i := 0; i < o.Pages; i++ {
@@ -115,6 +116,7 @@ func (c *Core) doMmap(th *Thread, o OpMmap) {
 				}
 			}
 			cost += sim.Time(o.Pages) * m.MmapSetupPerPage
+			cost += k.ReplUpdateRange(c, mm, start, o.Pages)
 		}
 		c.busy(cost, false, func() {
 			mm.Sem.ReleaseWrite()
@@ -148,6 +150,7 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 			k.notifySwapUnmap(mm, addr, pages)
 		}
 		var frames []FrameRef
+		var replCost sim.Time
 		hugeEntries := 0
 		for i := 0; i < pages; i++ {
 			vpn := addr + pt.VPN(i)
@@ -164,6 +167,8 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 					hugeEntries++
 					for j := 0; j < pt.HugePages; j++ {
 						frames = append(frames, FrameRef{VPN: vpn + pt.VPN(j), PFN: he.PFN + mem.PFN(j)})
+						replCost += k.ReplUnmapPTE(c, mm, vpn+pt.VPN(j),
+							pt.Entry{PFN: he.PFN + mem.PFN(j), Present: true, Writable: he.Writable})
 					}
 					i += pt.HugePages - 1
 					continue
@@ -171,6 +176,7 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 			}
 			if old, ok := mm.PT.Unmap(vpn); ok {
 				frames = append(frames, FrameRef{VPN: vpn, PFN: old.PFN, vm: mm.VM})
+				replCost += k.ReplUnmapPTE(c, mm, vpn, old)
 			}
 		}
 		// A huge mapping clears one PMD entry, not 512 PTEs.
@@ -187,7 +193,8 @@ func (c *Core) doMunmap(th *Thread, addr pt.VPN, pages int, keepVMA, forceSync b
 		cost := m.SyscallEntry + m.VMAOp +
 			sim.Time(pteEntries)*m.PTEClearPerPage +
 			m.InvalidateCost(pteEntries) +
-			sim.Time(mm.CPUMask.Count())*m.MunmapContentionPerCore
+			sim.Time(mm.CPUMask.Count())*m.MunmapContentionPerCore +
+			replCost
 		kind := obs.KindMunmap
 		if keepVMA {
 			kind = obs.KindMadvise
@@ -259,7 +266,8 @@ func (c *Core) doMprotect(th *Thread, o OpMprotect) {
 		} else {
 			c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
 		}
-		cost := m.SyscallEntry + m.VMAOp + sim.Time(o.Pages)*m.PTEClearPerPage + m.InvalidateCost(o.Pages)
+		cost := m.SyscallEntry + m.VMAOp + sim.Time(o.Pages)*m.PTEClearPerPage + m.InvalidateCost(o.Pages) +
+			k.ReplUpdateRange(c, mm, o.Addr, o.Pages)
 		sp := k.Spans.Begin(obs.KindSync, c.ID, o.Addr, o.Pages, t0)
 		if mm.VM != nil {
 			sp.SetLevel(1)
@@ -323,7 +331,10 @@ func (c *Core) doMremap(th *Thread, o OpMremap) {
 		}
 		pcid := c.pcid(mm)
 		c.TLB.InvalidateRange(pcid, o.Addr, o.Addr+pt.VPN(o.Pages))
-		cost := m.SyscallEntry + 2*m.VMAOp + sim.Time(moved)*(m.PTEClearPerPage+m.MmapSetupPerPage) + m.InvalidateCost(o.Pages)
+		// Remap is synchronous under every policy (Table 1), so both the
+		// source clears and the destination installs propagate eagerly.
+		cost := m.SyscallEntry + 2*m.VMAOp + sim.Time(moved)*(m.PTEClearPerPage+m.MmapSetupPerPage) + m.InvalidateCost(o.Pages) +
+			k.ReplUpdateRange(c, mm, o.Addr, o.Pages) + k.ReplUpdateRange(c, mm, newStart, o.Pages)
 		sp := k.Spans.Begin(obs.KindSync, c.ID, o.Addr, o.Pages, k.Now())
 		if mm.VM != nil {
 			sp.SetLevel(1)

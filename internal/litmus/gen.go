@@ -3,6 +3,7 @@ package litmus
 import (
 	"fmt"
 
+	"latr/internal/ptrepl"
 	"latr/internal/sim"
 )
 
@@ -45,6 +46,31 @@ func GenerateMany(seed uint64, count int) []*Scenario {
 	out := make([]*Scenario, count)
 	for i := range out {
 		out[i] = Generate(seed + uint64(i))
+	}
+	return out
+}
+
+// GenerateRepl builds the deterministic page-table-replication scenario
+// for one seed: the flat generator's race-free churn with a replication
+// mode layered over it, cycling through every mode (including the lazy
+// variants) across consecutive seeds. The exact oracle stays in force —
+// the generated ownership discipline never touches a VPN after its unmap,
+// so even lazily parked replica invalidations can never surface as
+// observable state, which is precisely the invisibility claim under test.
+func GenerateRepl(seed uint64) *Scenario {
+	sc := Generate(seed)
+	modes := ptrepl.ModeNames()
+	sc.Repl = modes[int(seed%uint64(len(modes)))]
+	sc.Name = fmt.Sprintf("genr-%016x-%s", seed, sc.Repl)
+	return sc
+}
+
+// GenerateManyRepl builds count replication scenarios from consecutive
+// seeds.
+func GenerateManyRepl(seed uint64, count int) []*Scenario {
+	out := make([]*Scenario, count)
+	for i := range out {
+		out[i] = GenerateRepl(seed + uint64(i))
 	}
 	return out
 }
@@ -169,6 +195,14 @@ func FromBytes(data []byte) *Scenario {
 	// generated churn runs — still under the exact oracle, since host-level
 	// reclaim is architecturally invisible to the guest.
 	virt := !sc.Swap && c.Intn(4) == 0
+	// Third draw: some inputs additionally run under page-table
+	// replication (host-level only; guest tables are never replicated), in
+	// a mode picked by the next byte. Exhausted inputs draw mode 0
+	// ("none"), which still exercises the remote-walk accounting.
+	if c.Intn(4) == 0 {
+		modes := ptrepl.ModeNames()
+		sc.Repl = modes[c.Intn(len(modes))]
+	}
 	nThreads := 1 + c.Intn(3)
 	for ti := 0; ti < nThreads; ti++ {
 		t := Thread{Core: (ti * 5) % 16}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 
+	"latr/internal/ptrepl"
 	"latr/internal/sim"
 )
 
@@ -127,7 +128,15 @@ type Scenario struct {
 	// swap-ins, and shootdowns on the swap-out path. When and where the
 	// swapper strikes is policy- and timing-dependent, so — like Racy —
 	// swap scenarios are held to the safety-only oracle.
-	Swap    bool
+	Swap bool
+	// Repl installs page-table replication (internal/ptrepl) in the named
+	// mode ("none", "replicate-all", "adaptive", or their -lazy variants)
+	// for the whole run. Replication is a timing layer: the flat reference
+	// model is untouched, so the exact oracle doubles as the invisibility
+	// check — replicas must never change faults, final shape, or frame
+	// counts. Teardown and drain leaks are checked through the ptrepl
+	// gauges after every run.
+	Repl    string
 	Threads []Thread
 	Expects []Expect
 }
@@ -192,6 +201,11 @@ func (s *Scenario) Validate() error {
 	}
 	if len(s.Threads) == 0 {
 		return fmt.Errorf("litmus %s: no threads", s.Name)
+	}
+	if s.Repl != "" {
+		if _, err := ptrepl.ModeByName(s.Repl); err != nil {
+			return fmt.Errorf("litmus %s: %v", s.Name, err)
+		}
 	}
 	created := map[string]bool{}
 	sizes := map[string]int{}

@@ -14,6 +14,8 @@ import (
 //	racy                          # optional: mark as intentionally racing
 //	swap                          # optional: run under memory pressure with
 //	                              # the remote-paging swapper (safety-only)
+//	repl replicate-all            # optional: page-table replication mode
+//	                              # (none|replicate-all|adaptive[-lazy])
 //	thread <core> [@ <proc>]      # @ names the forked process it runs in
 //	thread <core> vm <name>       # a vCPU thread inside VM <name>
 //	  mmap A 8 pop                # rw by default; flags: pop, ro, huge
@@ -67,6 +69,11 @@ func Parse(text string) (*Scenario, error) {
 			sc.Racy = true
 		case "swap":
 			sc.Swap = true
+		case "repl":
+			if len(f) != 2 || sc.Repl != "" {
+				return fail("want a single 'repl <mode>'")
+			}
+			sc.Repl = f[1]
 		case "thread":
 			if len(f) != 2 && !(len(f) == 4 && (f[2] == "@" || f[2] == "vm")) {
 				return fail("want 'thread <core>', 'thread <core> @ <proc>' or 'thread <core> vm <name>'")
@@ -316,6 +323,9 @@ func (s *Scenario) String() string {
 	}
 	if s.Swap {
 		b.WriteString("swap\n")
+	}
+	if s.Repl != "" {
+		fmt.Fprintf(&b, "repl %s\n", s.Repl)
 	}
 	for _, t := range s.Threads {
 		switch {

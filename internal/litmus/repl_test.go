@@ -1,0 +1,121 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"latr/internal/ptrepl"
+)
+
+// The replica-layer oracle-sensitivity tests: like the shootdown mutants,
+// each ptrepl mutation must be detected through its designed channel on the
+// bait scenario, and the identical configuration without the mutation must
+// run clean — detections are signal, not noise.
+
+func TestReplMutantSensitivity(t *testing.T) {
+	probes := map[ptrepl.Mutation]func(t *testing.T, out Outcome){
+		// A lost invalidation leaves the starved replica holding dead
+		// translations: the lost-store accounting reports them at teardown,
+		// and on 2x8 (where the probe thread sits on the starved socket)
+		// the stale serve over a freed frame also trips the auditor.
+		ptrepl.MutSkipReplica: func(t *testing.T, out Outcome) {
+			if !failureMentions(out, "invalidation(s) lost") {
+				t.Errorf("skip-one-replica not caught by lost-invalidation accounting; failures: %v", out.Failures)
+			}
+			if out.Violations == 0 {
+				t.Error("skip-one-replica stale serve produced no auditor violations on 2x8")
+			}
+		},
+		// Skipped teardown leaves the replica gauge standing after the
+		// address space is gone.
+		ptrepl.MutLeakReplica: func(t *testing.T, out Outcome) {
+			if !failureMentions(out, "replica(s) survived") {
+				t.Errorf("leak-replica not caught by the replica gauge; failures: %v", out.Failures)
+			}
+		},
+	}
+	for _, mut := range ptrepl.Mutations() {
+		probe, ok := probes[mut]
+		if !ok {
+			t.Fatalf("ptrepl mutation %q has no sensitivity probe; add one", mut)
+		}
+		t.Run(string(mut), func(t *testing.T) {
+			sc := ScenarioByName("repl-mutant-probe")
+			if sc == nil {
+				t.Fatal("scenario repl-mutant-probe missing")
+			}
+			out := RunScenario(sc, RunConfig{Policy: "linux", Topo: "2x8", Seed: 13, ReplMutant: string(mut)})
+			if len(out.Failures) == 0 {
+				t.Fatalf("oracle failed to detect %s at all", mut)
+			}
+			probe(t, out)
+
+			control := RunScenario(sc, RunConfig{Policy: "linux", Topo: "2x8", Seed: 13})
+			if len(control.Failures) != 0 {
+				t.Fatalf("control run (no mutant) failed: %v", control.Failures)
+			}
+		})
+	}
+}
+
+// TestReplScenariosCleanUnderAllPolicies runs every repl-carrying builtin
+// under the full policy set on both topologies — the invisibility claim:
+// replication changes timing, never architectural state.
+func TestReplScenariosCleanUnderAllPolicies(t *testing.T) {
+	var scs []*Scenario
+	for _, sc := range Scenarios() {
+		if sc.Repl != "" {
+			scs = append(scs, sc)
+		}
+	}
+	if len(scs) < 5 {
+		t.Fatalf("only %d repl scenarios in the builtin corpus, want >= 5", len(scs))
+	}
+	rep := RunSuite(scs, SuiteConfig{Seed: 29})
+	if rep.Failed() {
+		t.Fatalf("repl suite failed:\n%s", rep.RenderFailures(10))
+	}
+}
+
+// TestGeneratedReplScenarios: the seeded replication generator layers every
+// mode over the race-free grammar and must stay clean under the exact
+// oracle for a representative policy pair.
+func TestGeneratedReplScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scs := GenerateManyRepl(400, 10)
+	modes := map[string]bool{}
+	for _, sc := range scs {
+		modes[sc.Repl] = true
+	}
+	if len(modes) != len(ptrepl.ModeNames()) {
+		t.Fatalf("10 consecutive seeds covered %d modes, want all %d", len(modes), len(ptrepl.ModeNames()))
+	}
+	rep := RunSuite(scs, SuiteConfig{Policies: []string{"linux", "latr"}, Seed: 31})
+	if rep.Failed() {
+		t.Fatalf("generated repl suite failed:\n%s", rep.RenderFailures(10))
+	}
+}
+
+// TestReplParseRoundTrip: the repl directive survives String/Parse exactly.
+func TestReplParseRoundTrip(t *testing.T) {
+	sc := ScenarioByName("repl-lazy-munmap")
+	if sc == nil {
+		t.Fatal("scenario missing")
+	}
+	text := sc.String()
+	if !strings.Contains(text, "repl replicate-all-lazy\n") {
+		t.Fatalf("canonical form lacks repl directive:\n%s", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.String() != text {
+		t.Fatalf("round trip diverged:\n%s\nvs:\n%s", text, back.String())
+	}
+	if _, err := Parse("litmus x\nrepl warp\nthread 0\n  yield\n"); err == nil {
+		t.Fatal("unknown repl mode accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"latr/internal/cost"
 	"latr/internal/kernel"
 	"latr/internal/pt"
+	"latr/internal/ptrepl"
 	"latr/internal/remote"
 	"latr/internal/shootdown"
 	"latr/internal/sim"
@@ -80,6 +81,11 @@ type RunConfig struct {
 	Topo   string // "2x8" or "8x15"
 	Chaos  string // chaos profile name, "" = none
 	Seed   uint64
+	// ReplMutant names a ptrepl mutation ("skip-one-replica",
+	// "leak-replica") injected into scenarios that carry a repl directive —
+	// the replica-layer analogue of the mutant:<m> policies, used by the
+	// oracle-sensitivity tests.
+	ReplMutant string
 	// Deadline caps the simulated run; 0 picks a default generous enough
 	// for every built-in scenario.
 	Deadline sim.Time
@@ -111,6 +117,13 @@ type Outcome struct {
 	// never crosses them — but part of each run's determinism digest.
 	VMExits       uint64
 	EPTViolations uint64
+	// ReplReplicas/ReplStale are the final ptrepl gauges (must both be
+	// zero after teardown and drain); ReplLost counts invalidations the
+	// replica layer provably dropped. All zero unless the scenario carries
+	// a repl directive.
+	ReplReplicas int64
+	ReplStale    int64
+	ReplLost     uint64
 
 	// Failures lists every oracle check this run failed; empty = pass.
 	Failures []string
@@ -131,8 +144,8 @@ func (o Outcome) Key() string {
 // Digest folds the determinism-relevant parts of the outcome into a string
 // fingerprinted by the suite.
 func (o Outcome) digest() string {
-	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x|%d|%d|%d|%d",
-		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP, o.SwapOuts, o.SwapIns, o.VMExits, o.EPTViolations)
+	return fmt.Sprintf("%s|%s|%v|%d|%d|%d|%d|%v|%016x|%d|%d|%d|%d|%d|%d|%d",
+		o.Key(), o.Final, o.Faults, o.Violations, o.FramesInUse, o.LazyPages, o.Orphans, o.Deadlocked, o.EngineFP, o.SwapOuts, o.SwapIns, o.VMExits, o.EPTViolations, o.ReplReplicas, o.ReplStale, o.ReplLost)
 }
 
 // regionInfo binds a symbolic region label to its concrete placement in one
@@ -493,6 +506,18 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 	if cfg.Chaos != "" {
 		chaos.NewInjector(cfg.Seed^0xc4a05, prof).Install(k)
 	}
+	if sc.Repl != "" {
+		rcfg, err := ptrepl.ModeByName(sc.Repl)
+		if err != nil {
+			out.Failures = append(out.Failures, err.Error())
+			return out
+		}
+		rcfg.Mutation = ptrepl.Mutation(cfg.ReplMutant)
+		if _, err := ptrepl.Install(k, rcfg); err != nil {
+			out.Failures = append(out.Failures, err.Error())
+			return out
+		}
+	}
 	var sw *swap.Swapper
 	if sc.Swap {
 		sw = swap.NewWithBackend(swap.Config{
@@ -591,6 +616,9 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 	out.SwapIns = k.Metrics.Counter("swap.in")
 	out.VMExits = k.Metrics.Counter("virt.vm_exits")
 	out.EPTViolations = k.Metrics.Counter("virt.ept_violations")
+	out.ReplReplicas = k.Metrics.Gauge("ptrepl.replicas")
+	out.ReplStale = k.Metrics.Gauge("ptrepl.stale")
+	out.ReplLost = k.Metrics.Counter("ptrepl.stale_leaked")
 	if sc.Virtualized() {
 		out.FramesInUse = int64(k.AdjustedFramesInUse())
 	} else {
@@ -626,6 +654,15 @@ func RunScenario(sc *Scenario, cfg RunConfig) Outcome {
 	}
 	if out.LazyPages > 0 {
 		out.Failures = append(out.Failures, fmt.Sprintf("%d lazy VA page(s) never reclaimed after drain", out.LazyPages))
+	}
+	if out.ReplReplicas != 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("%d page-table replica(s) survived address-space teardown", out.ReplReplicas))
+	}
+	if out.ReplStale != 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("%d parked replica invalidation(s) never applied after drain", out.ReplStale))
+	}
+	if out.ReplLost != 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("%d replica invalidation(s) lost (stale PTEs held at teardown)", out.ReplLost))
 	}
 	if r.model != nil {
 		if want := r.model.Final(); out.Final != want {

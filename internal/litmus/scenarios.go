@@ -800,4 +800,117 @@ thread 0
   vmmigrate V1
 expect mapped V1:A 8
 `,
+
+	// -- Page-table replication (ptrepl) ----------------------------------
+	// Replication is a pure timing layer, so the exact oracle doubles as
+	// the invisibility check: every non-racy repl scenario must reach the
+	// same shape, faults and frame counts as the unreplicated baseline
+	// under every policy.
+
+	// Cross-socket reads against a fully replicated table: thread 15 sits
+	// on socket 1 under both topologies, so its walks route to the local
+	// replica rather than the master on socket 0.
+	`litmus repl-cross-socket-read
+repl replicate-all
+thread 0
+  mmap A 16 pop
+  write A 0 16
+  compute 2ms
+thread 15
+  wait A
+  read A 0 16
+  compute 1ms
+expect mapped A 16
+expect faults 0
+`,
+
+	// Adaptive policy under remote read-then-write pressure: socket 1's
+	// remote walks feed replicate-on-remote-walk, its PTE stores feed the
+	// migrate-on-writer-locality counter.
+	`litmus repl-adaptive-writer
+repl adaptive
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  compute 2ms
+thread 15
+  wait A
+  read A 0 8
+  write A 0 8
+  compute 1ms
+expect mapped A 8
+expect faults 0
+`,
+
+	// The lazy-replica ablation path: munmap parks the remote replica's
+	// invalidations on the LATR queues (or stores eagerly under eager-only
+	// policies); the trailing computes give the sweep/reclaim machinery
+	// room to drain before the gauge checks. The remote reader finishes
+	// its phase a millisecond before the unmap, so no stale window is
+	// ever observable.
+	`litmus repl-lazy-munmap
+repl replicate-all-lazy
+thread 0
+  mmap A 32 pop
+  write A 0 32
+  compute 1ms
+  munmap A
+  compute 2ms
+thread 15
+  wait A
+  read A 0 32
+  compute 1ms
+expect mapped A 0
+expect faults 0
+`,
+
+	// Adaptive + lazy, with madvise/refault churn: the refault's PTE
+	// installs must supersede any invalidations still parked for the
+	// range, or the new mapping would be shadowed by its own ghost.
+	`litmus repl-adaptive-lazy-churn
+repl adaptive-lazy
+thread 0
+  mmap A 16 pop
+  write A 0 16
+  madvise A 0 8
+  write A 0 8
+  munmap A
+expect mapped A 0
+expect faults 0
+`,
+
+	// Huge mappings behind replicas: the PMD-level unmap must invalidate
+	// all 512 constituent translations on every replica.
+	`litmus repl-huge
+repl replicate-all
+thread 0
+  mmap H 512 huge
+  write H 0 512
+  compute 1ms
+  munmap H
+expect mapped H 0
+expect faults 0
+`,
+
+	// The mutant bait (racy): a remote reader warms its replica, the
+	// owner unmaps, and the reader probes again after the shootdown. With
+	// a correct replica layer the probe faults; under skip-one-replica the
+	// starved replica serves the dead translation (stale-use auditor on
+	// 2x8, lost-invalidation accounting everywhere), and under
+	// leak-replica teardown leaves the replica gauge standing.
+	`litmus repl-mutant-probe
+racy
+repl replicate-all
+thread 0
+  mmap A 8 pop
+  write A 0 8
+  compute 500us
+  munmap A
+  compute 2ms
+thread 15
+  wait A
+  read A 0 8
+  sleep 2ms
+  read A 0 8
+`,
 }

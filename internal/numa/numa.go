@@ -288,7 +288,7 @@ func (a *AutoNUMA) migrate(c *kernel.Core, th *kernel.Thread, mm *kernel.MM, vpn
 		if !ok {
 			panic("numa: hinted page vanished under mmap_sem")
 		}
-		cost := k.Cost.PageCopy + k.Cost.MigrationBookkeeping
+		cost := k.Cost.PageCopy + k.Cost.MigrationBookkeeping + k.ReplUpdateRange(c, mm, vpn, 1)
 		c.Busy(cost, false, func() {
 			k.Alloc.Put(old.PFN)
 			c.TLB.Insert(c.PCIDOf(mm), vpn, newPFN, old.Writable)

@@ -1,0 +1,163 @@
+package pt
+
+import (
+	"testing"
+
+	"latr/internal/mem"
+)
+
+// Split/collapse edge cases at the page-table level: the kernel models THP
+// splitting as unmap-huge + remap-base (and collapse as the reverse), and
+// the replication layer mirrors whatever the master does per base page —
+// so the master's bookkeeping across those transitions must be exact.
+
+// TestHugeSplitToBasePages emulates a PMD split: a huge mapping is torn
+// down and the same VA range is re-established as 512 base PTEs over the
+// same contiguous frames. Counters and walks must cross the transition
+// without residue.
+func TestHugeSplitToBasePages(t *testing.T) {
+	p := New()
+	base := VPN(2 * HugePages)
+	if err := p.MapHuge(base, 1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if p.MappedHuge() != 1 || p.Mapped() != 0 {
+		t.Fatalf("after MapHuge: %d huge / %d base", p.MappedHuge(), p.Mapped())
+	}
+	old, ok := p.UnmapHuge(base + 7) // any covered vpn resolves to the base
+	if !ok || old.PFN != 1000 {
+		t.Fatalf("UnmapHuge = %+v, %v", old, ok)
+	}
+	for i := VPN(0); i < HugePages; i++ {
+		if err := p.Map(base+i, old.PFN+mem.PFN(i), old.Writable); err != nil {
+			t.Fatalf("split remap page %d: %v", i, err)
+		}
+	}
+	if p.MappedHuge() != 0 || p.Mapped() != HugePages {
+		t.Fatalf("after split: %d huge / %d base", p.MappedHuge(), p.Mapped())
+	}
+	for _, off := range []VPN{0, 7, HugePages - 1} {
+		e, huge, ok := p.WalkAny(base+off, true)
+		if !ok || huge {
+			t.Fatalf("walk after split at +%d: huge=%v ok=%v", off, huge, ok)
+		}
+		if e.PFN != 1000+mem.PFN(off) {
+			t.Fatalf("walk after split at +%d hit frame %d, want %d", off, e.PFN, 1000+mem.PFN(off))
+		}
+	}
+}
+
+// TestHugeCollapseFromBasePages emulates khugepaged's collapse: MapHuge
+// must refuse while any covered base PTE exists, and succeed once the
+// range is clear; per-page walks then resolve through the single PMD with
+// correct frame offsets.
+func TestHugeCollapseFromBasePages(t *testing.T) {
+	p := New()
+	base := VPN(4 * HugePages)
+	for i := VPN(0); i < HugePages; i++ {
+		if err := p.Map(base+i, 5000+mem.PFN(i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.MapHuge(base, 5000, true); err == nil {
+		t.Fatal("MapHuge collapsed over live base PTEs")
+	}
+	// Clear all but the last page: one straggler must still block collapse.
+	for i := VPN(0); i < HugePages-1; i++ {
+		p.Unmap(base + i)
+	}
+	if err := p.MapHuge(base, 5000, true); err == nil {
+		t.Fatal("MapHuge collapsed over one remaining base PTE")
+	}
+	p.Unmap(base + HugePages - 1)
+	if err := p.MapHuge(base, 5000, true); err != nil {
+		t.Fatalf("collapse after range cleared: %v", err)
+	}
+	if err := p.MapHuge(base, 5000, true); err == nil {
+		t.Fatal("double huge mapping accepted")
+	}
+	e, huge, ok := p.WalkAny(base+HugePages-1, false)
+	if !ok || !huge || e.PFN != 5000+HugePages-1 {
+		t.Fatalf("walk after collapse = %+v huge=%v ok=%v", e, huge, ok)
+	}
+	// An unaligned collapse target must be rejected outright.
+	if err := p.MapHuge(base+1, 9000, true); err == nil {
+		t.Fatal("unaligned MapHuge accepted")
+	}
+}
+
+// TestHugeMappingOverEPTBacking covers the nested side: a guest huge
+// mapping whose 512 guest-physical frames are EPT-backed. Unbacking one
+// frame mid-range (host reclaim) must surface as an EPT violation for
+// exactly that page while the guest's huge PMD — and the other 511
+// combined translations — stay intact; re-backing heals it.
+func TestHugeMappingOverEPTBacking(t *testing.T) {
+	gpt := New()
+	ept := NewEPT()
+	base := VPN(8 * HugePages)
+	gbase := mem.PFN(3000) // guest-physical frames backing the huge page
+	if err := gpt.MapHuge(base, gbase, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := mem.PFN(0); i < HugePages; i++ {
+		if err := ept.Back(gbase+i, 7000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ept.Backed() != HugePages {
+		t.Fatalf("Backed = %d", ept.Backed())
+	}
+
+	// The two-dimensional walk for an arbitrary covered page: guest PMD
+	// gives gPA, EPT gives hPA.
+	e, huge, ok := gpt.WalkAny(base+137, true)
+	if !ok || !huge {
+		t.Fatalf("guest walk = huge=%v ok=%v", huge, ok)
+	}
+	if h, ok := ept.Lookup(e.PFN); !ok || h != 7137 {
+		t.Fatalf("EPT lookup(%d) = %d, %v; want 7137", e.PFN, h, ok)
+	}
+
+	// Host reclaims the frame backing page +137. The guest PMD is
+	// untouched — only the nested level sees the hole.
+	h, ok := ept.Unback(gbase + 137)
+	if !ok || h != 7137 {
+		t.Fatalf("Unback = %d, %v", h, ok)
+	}
+	if _, ok := ept.Lookup(gbase + 137); ok {
+		t.Fatal("unbacked frame still translates")
+	}
+	if _, ok := ept.HostToGuest(7137); ok {
+		t.Fatal("reverse map survived Unback")
+	}
+	if e, huge, ok := gpt.WalkAny(base+137, false); !ok || !huge || e.PFN != gbase+137 {
+		t.Fatalf("guest PMD disturbed by host reclaim: %+v huge=%v ok=%v", e, huge, ok)
+	}
+	for _, off := range []mem.PFN{0, 136, 138, HugePages - 1} {
+		if h, ok := ept.Lookup(gbase + off); !ok || h != 7000+off {
+			t.Fatalf("neighbour backing +%d = %d, %v", off, h, ok)
+		}
+	}
+
+	// Re-back with a different host frame — the EPT-violation recovery
+	// path — and require the old reverse mapping to be gone for good.
+	if err := ept.Back(gbase+137, 9999); err != nil {
+		t.Fatalf("re-back: %v", err)
+	}
+	if g, ok := ept.HostToGuest(9999); !ok || g != gbase+137 {
+		t.Fatalf("HostToGuest(9999) = %d, %v", g, ok)
+	}
+	if err := ept.Back(gbase+137, 7137); err == nil {
+		t.Fatal("double backing accepted")
+	}
+	// The ascending reclaim-cursor order must hold with the healed hole.
+	frames := ept.BackedGuestFrames()
+	if len(frames) != HugePages {
+		t.Fatalf("BackedGuestFrames = %d entries", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i] <= frames[i-1] {
+			t.Fatalf("reclaim order not ascending at %d: %v <= %v", i, frames[i], frames[i-1])
+		}
+	}
+}

@@ -366,6 +366,7 @@ func (s *Swapper) pass(c *kernel.Core, th *kernel.Thread, done func()) {
 				return
 			}
 			old, _ := v.mm.PT.Unmap(v.vpn)
+			replCost := s.k.ReplUnmapPTE(c, v.mm, v.vpn, old)
 			c.TLB.Invalidate(c.PCIDOf(v.mm), v.vpn)
 			perMM := s.swapped[v.mm]
 			if perMM == nil {
@@ -385,19 +386,28 @@ func (s *Swapper) pass(c *kernel.Core, th *kernel.Thread, done func()) {
 				Span:    sp,
 			}
 			c.SetSpan(sp)
-			s.k.Policy().Munmap(c, u, func() {
-				s.k.Metrics.Observe("swap.unmap_wait", s.k.Now()-t0)
-				// The span stays installed across the device write so the
-				// backend can mark its store slice on the swapper's lane.
-				s.backend.Store(c, v.mm, v.vpn, func() {
-					c.SetSpan(nil)
-					v.mm.Sem.ReleaseWrite()
-					s.k.Metrics.Inc("swap.out", 1)
-					s.k.Metrics.ObservePerc("swap.evict_hold", s.k.Now()-t0)
-					sp.Release(s.k.Now())
-					next(i + 1)
+			evict := func() {
+				s.k.Policy().Munmap(c, u, func() {
+					s.k.Metrics.Observe("swap.unmap_wait", s.k.Now()-t0)
+					// The span stays installed across the device write so the
+					// backend can mark its store slice on the swapper's lane.
+					s.backend.Store(c, v.mm, v.vpn, func() {
+						c.SetSpan(nil)
+						v.mm.Sem.ReleaseWrite()
+						s.k.Metrics.Inc("swap.out", 1)
+						s.k.Metrics.ObservePerc("swap.evict_hold", s.k.Now()-t0)
+						sp.Release(s.k.Now())
+						next(i + 1)
+					})
 				})
-			})
+			}
+			if replCost > 0 {
+				// Replica maintenance for the evicted PTE charges ahead of
+				// the coherence hand-off (only non-zero under ptrepl).
+				c.Busy(replCost, true, evict)
+			} else {
+				evict()
+			}
 		})
 	}
 	next(0)
@@ -451,7 +461,7 @@ func (s *Swapper) OnSwapFault(c *kernel.Core, th *kernel.Thread, vpn pt.VPN, con
 					panic(err)
 				}
 				c.TLB.Insert(c.PCIDOf(mm), vpn, pfn, vma.Writable)
-				c.Busy(k.Cost.MmapSetupPerPage, false, func() {
+				c.Busy(k.Cost.MmapSetupPerPage+k.ReplUpdateRange(c, mm, vpn, 1), false, func() {
 					mm.Sem.ReleaseRead()
 					cont()
 				})

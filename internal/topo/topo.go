@@ -108,7 +108,12 @@ func (s Spec) CoresOnNode(n NodeID) []CoreID {
 // apart, which is the knee in Fig 7; we model sockets as a ring of
 // fully-linked 4-socket groups, so distance ≥ 4 costs two hops.
 func (s Spec) Hops(a, b CoreID) int {
-	sa, sb := s.SocketOf(a), s.SocketOf(b)
+	return s.SocketHops(s.SocketOf(a), s.SocketOf(b))
+}
+
+// SocketHops is Hops at socket granularity (used by layers that place
+// state per socket rather than per core, like page-table replication).
+func (s Spec) SocketHops(sa, sb int) int {
 	if sa == sb {
 		return 0
 	}

@@ -89,6 +89,65 @@ func TestHops(t *testing.T) {
 	}
 }
 
+// TestEightSocketDistanceMatrix pins the full 8x8 socket-distance matrix
+// of the large machine: a zero diagonal, symmetry, and hop counts that
+// never decrease as sockets get further apart — the properties the
+// replica-placement and IPI layers lean on when they charge by
+// SocketHops.
+func TestEightSocketDistanceMatrix(t *testing.T) {
+	s := EightSocket120()
+	n := s.Sockets
+	for a := 0; a < n; a++ {
+		if h := s.SocketHops(a, a); h != 0 {
+			t.Errorf("SocketHops(%d,%d) = %d, want 0 on the diagonal", a, a, h)
+		}
+		for b := 0; b < n; b++ {
+			ab, ba := s.SocketHops(a, b), s.SocketHops(b, a)
+			if ab != ba {
+				t.Errorf("asymmetric: SocketHops(%d,%d)=%d but SocketHops(%d,%d)=%d", a, b, ab, b, a, ba)
+			}
+			if a != b && ab == 0 {
+				t.Errorf("SocketHops(%d,%d) = 0 for distinct sockets", a, b)
+			}
+			if ab > s.MaxHops() {
+				t.Errorf("SocketHops(%d,%d) = %d exceeds MaxHops %d", a, b, ab, s.MaxHops())
+			}
+			// Core-granularity Hops must agree with the socket matrix for
+			// every core pair drawn from these sockets.
+			if got := s.Hops(CoreID(a*s.CoresPerSocket), CoreID(b*s.CoresPerSocket+s.CoresPerSocket-1)); got != ab {
+				t.Errorf("Hops disagrees with SocketHops(%d,%d): %d vs %d", a, b, got, ab)
+			}
+		}
+		// Monotone in distance: walking away from socket a never lowers the
+		// hop count.
+		for b := a + 1; b < n-1; b++ {
+			if s.SocketHops(a, b) > s.SocketHops(a, b+1) {
+				t.Errorf("hops shrink with distance: SocketHops(%d,%d)=%d > SocketHops(%d,%d)=%d",
+					a, b, s.SocketHops(a, b), a, b+1, s.SocketHops(a, b+1))
+			}
+		}
+	}
+	// The Fig 7 knee: exactly the pairs >= 4 apart pay the second hop.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			want := 0
+			switch {
+			case d >= 4:
+				want = 2
+			case d >= 1:
+				want = 1
+			}
+			if got := s.SocketHops(a, b); got != want {
+				t.Errorf("SocketHops(%d,%d) = %d, want %d (distance %d)", a, b, got, want, d)
+			}
+		}
+	}
+}
+
 func TestMaskBasics(t *testing.T) {
 	var m CoreMask
 	if !m.Empty() {

@@ -47,6 +47,7 @@ import (
 	"latr/internal/numa"
 	"latr/internal/obs"
 	"latr/internal/pt"
+	"latr/internal/ptrepl"
 	"latr/internal/remote"
 	"latr/internal/shootdown"
 	"latr/internal/sim"
@@ -286,6 +287,38 @@ func ClusterFaultProfileByName(name string) (ClusterFaultProfile, error) {
 // AutoNUMAConfig tunes the AutoNUMA balancer.
 type AutoNUMAConfig = numa.Config
 
+// Per-socket page-table replication (numaPTE-style; DESIGN.md §15),
+// re-exported.
+type (
+	// PtreplConfig tunes the page-table replication subsystem: the
+	// replication policy, lazy vs eager replica maintenance, and the
+	// adaptive thresholds.
+	PtreplConfig = ptrepl.Config
+	// PtreplPolicy selects which address spaces get per-socket replicas.
+	PtreplPolicy = ptrepl.Policy
+	// PtreplManager is the installed replication subsystem; query it for
+	// per-address-space replica state.
+	PtreplManager = ptrepl.Manager
+)
+
+// The replication policies.
+const (
+	// PtreplNone keeps the single master table (stock behaviour).
+	PtreplNone = ptrepl.PolicyNone
+	// PtreplAll replicates every address space on every socket.
+	PtreplAll = ptrepl.PolicyAll
+	// PtreplAdaptive replicates on remote-walk pressure and migrates the
+	// master toward the dominant writer socket (numaPTE-style).
+	PtreplAdaptive = ptrepl.PolicyAdaptive
+)
+
+// PtreplModes lists the named (policy, maintenance) modes the experiment
+// sweeps: none, replicate-all, adaptive, replicate-all-lazy, adaptive-lazy.
+func PtreplModes() []string { return ptrepl.ModeNames() }
+
+// PtreplModeByName resolves a mode name to its config.
+func PtreplModeByName(name string) (PtreplConfig, error) { return ptrepl.ModeByName(name) }
+
 // SwapConfig tunes the LRU page swapper (Table 1's page-swap row; §3's
 // lazy-swap sketch).
 type SwapConfig = swap.Config
@@ -324,6 +357,10 @@ type Config struct {
 	AutoNUMA *AutoNUMAConfig
 	// Swap, when non-nil, installs the LRU page swapper with this config.
 	Swap *SwapConfig
+	// Ptrepl, when non-nil, installs per-socket page-table replication
+	// with this config (DESIGN.md §15). The zero PtreplConfig is the
+	// "none" policy; use PtreplModeByName for the named modes.
+	Ptrepl *PtreplConfig
 	// SwapBackend overrides the swapper's device model (default: local
 	// NVMe-class). Ignored unless Swap is set.
 	SwapBackend SwapBackend
@@ -354,6 +391,7 @@ type System struct {
 	k        *kernel.Kernel
 	autonuma *numa.AutoNUMA
 	swapper  *swap.Swapper
+	ptrepl   *ptrepl.Manager
 }
 
 // NewSystem builds a system from cfg.
@@ -412,6 +450,13 @@ func NewSystem(cfg Config) *System {
 		}
 		s.swapper.Install(k)
 	}
+	if cfg.Ptrepl != nil {
+		m, err := ptrepl.Install(k, *cfg.Ptrepl)
+		if err != nil {
+			panic("latr: invalid Config.Ptrepl: " + err.Error())
+		}
+		s.ptrepl = m
+	}
 	return s
 }
 
@@ -445,6 +490,10 @@ func (s *System) RegisterAllForNUMA() {
 		}
 	}
 }
+
+// Ptrepl returns the installed page-table replication manager (nil unless
+// Config.Ptrepl was set).
+func (s *System) Ptrepl() *PtreplManager { return s.ptrepl }
 
 // Run advances virtual time to the given deadline.
 func (s *System) Run(until Time) { s.k.Run(until) }
@@ -506,6 +555,13 @@ func RunAllExperiments(o ExperimentOptions) []*ExperimentTable {
 
 // PolicyNames lists the available coherence policies.
 func PolicyNames() []string { return experiments.PolicyNames() }
+
+// RunPtreplExperiment regenerates the page-table replication table
+// (experiment id "ptrepl"): the replication-policy axis crossed with eager
+// vs LATR-lazy replica maintenance on both reference machines.
+func RunPtreplExperiment(o ExperimentOptions) *ExperimentTable {
+	return experiments.Ptrepl(o)
+}
 
 // ExperimentRunSpec identifies one cell of the experiment matrix.
 type ExperimentRunSpec = experiments.RunSpec

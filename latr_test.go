@@ -105,6 +105,65 @@ func TestInvalidSwapConfigPanics(t *testing.T) {
 	})
 }
 
+func TestPtreplThroughPublicAPI(t *testing.T) {
+	cfg, err := latr.PtreplModeByName("replicate-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := latr.NewSystem(latr.Config{
+		Machine:         latr.CustomMachine(2, 2),
+		Policy:          latr.PolicyLATR,
+		Ptrepl:          &cfg,
+		CheckInvariants: true,
+	})
+	if sys.Ptrepl() == nil {
+		t.Fatal("Ptrepl manager not installed")
+	}
+	p := sys.NewProcess()
+	p.Spawn(0, latr.Script(
+		func(th *latr.Thread) latr.Op {
+			return latr.OpMmap{Pages: 4, Writable: true, Populate: true, Node: -1}
+		},
+		func(th *latr.Thread) latr.Op { return latr.OpMunmap{Addr: th.LastAddr, Pages: 4} },
+	))
+	sys.Run(10 * latr.Millisecond)
+	if sys.Metrics().Counter("ptrepl.replicas_created") == 0 {
+		t.Fatal("no replica created under replicate-all")
+	}
+	if got := len(latr.PtreplModes()); got != 5 {
+		t.Fatalf("PtreplModes lists %d modes, want 5", got)
+	}
+	if _, err := latr.PtreplModeByName("warp"); err == nil {
+		t.Fatal("unknown ptrepl mode accepted")
+	}
+}
+
+func TestInvalidPtreplConfigPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for lazy maintenance without replicas")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "Config.Ptrepl") {
+			t.Fatalf("panic = %v, want the Validate error", r)
+		}
+	}()
+	latr.NewSystem(latr.Config{
+		Policy: latr.PolicyLATR,
+		Ptrepl: &latr.PtreplConfig{Policy: latr.PtreplNone, Lazy: true},
+	})
+}
+
+func TestRunPtreplExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := latr.RunPtreplExperiment(latr.ExperimentOptions{Quick: true, Seed: 1, Workers: -1})
+	if tbl.ID != "ptrepl" || len(tbl.Rows) != 16 {
+		t.Fatalf("ptrepl table = id %q, %d rows", tbl.ID, len(tbl.Rows))
+	}
+}
+
 func TestRemotePagingThroughPublicAPI(t *testing.T) {
 	machine := latr.CustomMachine(2, 2)
 	machine.MemPerNodeBytes = 1500 * 4096
