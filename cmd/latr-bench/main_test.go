@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -117,5 +118,74 @@ func TestCompareMissingPath(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(&out, &errb, []string{"-compare", filepath.Join("testdata", "nonesuch")}); code == 0 {
 		t.Fatal("missing baseline path exited 0")
+	}
+}
+
+// writeHarness drops a harness-schema BENCH file (the BenchmarkHarnessMatrix
+// snapshot format) into dir.
+func writeHarness(t *testing.T, dir string, gomaxprocs int) string {
+	t.Helper()
+	path := filepath.Join(dir, "BENCH_harness.json")
+	body := `{
+  "gomaxprocs": ` + strconv.Itoa(gomaxprocs) + `,
+  "runs": 40,
+  "entries": [
+    {"workers": 1, "wall_sec": 1.0, "speedup": 1.0},
+    {"workers": 2, "wall_sec": 0.55, "speedup": 1.8}
+  ]
+}
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareHarnessAtGOMAXPROCS1WarnsNotGates: a harness wall-clock
+// snapshot recorded on one core must produce a warning but never fail the
+// deterministic regression gate.
+func TestCompareHarnessAtGOMAXPROCS1WarnsNotGates(t *testing.T) {
+	dir := t.TempDir()
+	writeHarness(t, dir, 1)
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-compare", dir, "-parallel", "1"}); code != 0 {
+		t.Fatalf("harness snapshot failed the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "warn harness") || !strings.Contains(out.String(), "GOMAXPROCS=1") {
+		t.Errorf("missing GOMAXPROCS=1 warning:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 baseline(s) reproduced") {
+		t.Errorf("harness snapshot was counted as a gated baseline:\n%s", out.String())
+	}
+}
+
+// TestCompareHarnessMultiCoreSkipsQuietly: the same file recorded at a
+// real core count is skipped without the staleness warning.
+func TestCompareHarnessMultiCoreSkipsQuietly(t *testing.T) {
+	dir := t.TempDir()
+	writeHarness(t, dir, 8)
+	var out, errb strings.Builder
+	if code := run(&out, &errb, []string{"-compare", dir, "-parallel", "1"}); code != 0 {
+		t.Fatalf("harness snapshot failed the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "skip harness") || strings.Contains(out.String(), "warn harness") {
+		t.Errorf("multi-core harness snapshot not skipped quietly:\n%s", out.String())
+	}
+}
+
+// TestCompareCommittedHarnessNotStale pins the satellite fix itself: the
+// committed BENCH_harness.json must not be a GOMAXPROCS=1 recording, so
+// running the gate over the repo root copy stays warning-free.
+func TestCompareCommittedHarnessNotStale(t *testing.T) {
+	path, err := filepath.Abs(filepath.Join("..", "..", "BENCH_harness.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := loadHarness(path)
+	if !ok {
+		t.Fatalf("%s is not a harness snapshot", path)
+	}
+	if h.GoMaxProcs == 1 {
+		t.Fatalf("committed BENCH_harness.json still records gomaxprocs=1; re-record per EXPERIMENTS.md")
 	}
 }

@@ -53,6 +53,16 @@
 //
 //	latr-sim -ptrepl
 //	latr-sim -ptrepl -quick -parallel 4
+//
+// Tune mode runs the policy auto-tuner: a seeded evolutionary search over
+// LATR's parameter space plus a knob-sensitivity sweep, or — with
+// -tune-cf — a counterfactual replay that re-runs one recorded seed with a
+// single knob perturbed and diffs the resulting coherence spans:
+//
+//	latr-sim -tune -quick
+//	latr-sim -tune -quick -parallel 4 -seed 7
+//	latr-sim -tune -tune-cf QueueDepth=4 -seed 7
+//	latr-sim -tune -tune-cf ReclaimDelay=8ms -tune-cell churn@8x15
 package main
 
 import (
@@ -122,6 +132,10 @@ func main() {
 		clusterHdg  = flag.Duration("cluster-hedge", time.Millisecond, "cluster: hedge delay for a duplicate attempt (0 disables hedging)")
 		clusterSh   = flag.Int("cluster-shards", 0, "cluster: event-engine shards per cell (0 = sequential; results are byte-identical at any count)")
 
+		tuneOn   = flag.Bool("tune", false, "run the policy auto-tuner (evolutionary search + knob sensitivity) instead of a workload")
+		tuneCf   = flag.String("tune-cf", "", "tune: render a counterfactual span diff for one knob perturbation instead of searching, as Knob=value (durations accept Go syntax, e.g. ReclaimDelay=8ms)")
+		tuneCell = flag.String("tune-cell", "churn@2x8", "tune: counterfactual cell, workload@machine (workloads churn, memcached; machines 2x8, 8x15)")
+
 		virtOn   = flag.Bool("virt", false, "run the virtualized two-level coherence table (guest munmap + host balloon per policy x machine) instead of a workload")
 		ptreplOn = flag.Bool("ptrepl", false, "run the page-table replication table (policy x replication mode x machine) instead of a workload")
 		tblQuick = flag.Bool("quick", false, "virt/ptrepl: smaller runs, same shapes")
@@ -135,6 +149,10 @@ func main() {
 		verbose    = flag.Bool("v", false, "litmus: print one line per run")
 	)
 	flag.Parse()
+
+	if *tuneOn {
+		os.Exit(runTune(*tuneCf, *tuneCell, *tblQuick, *seed, *parallel))
+	}
 
 	if *virtOn {
 		os.Exit(runVirt(*tblQuick, *seed, *parallel))
@@ -519,6 +537,52 @@ func runRemote(f remoteFlags) int {
 	if f.dump {
 		fmt.Print(m.Dump())
 	}
+	return 0
+}
+
+// runTune runs the policy auto-tuner: the search + sensitivity table, or
+// a counterfactual span diff when -tune-cf names a knob perturbation.
+func runTune(cf, cell string, quick bool, seed uint64, parallel int) int {
+	if cf == "" {
+		tbl := latr.RunTuneExperiment(latr.ExperimentOptions{
+			Quick:   quick,
+			Seed:    seed,
+			Workers: parallel,
+		})
+		fmt.Println(tbl)
+		return 0
+	}
+	knob, raw, ok := strings.Cut(cf, "=")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "latr-sim: -tune-cf wants Knob=value, got %q\n", cf)
+		return 2
+	}
+	value, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		d, derr := time.ParseDuration(raw)
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "latr-sim: -tune-cf value %q is neither an integer nor a duration\n", raw)
+			return 2
+		}
+		value = d.Nanoseconds()
+	}
+	wl, machine, ok := strings.Cut(cell, "@")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "latr-sim: -tune-cell wants workload@machine, got %q\n", cell)
+		return 2
+	}
+	diff, err := latr.RunCounterfactual(latr.CounterfactualConfig{
+		Cell:  latr.TuneCell{Workload: wl, Machine: machine},
+		Seed:  seed,
+		Quick: quick,
+		Knob:  knob,
+		Value: value,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(diff.Render())
 	return 0
 }
 

@@ -42,6 +42,12 @@ type Config struct {
 	// and its waiters as lost. Zero takes the 50 ms default — far beyond
 	// any legitimate sweep horizon (two tick periods).
 	AuditLeakAge sim.Time
+	// FallbackOccupancy is the queue occupancy at or above which a new
+	// operation takes the synchronous IPI path even when a slot is still
+	// free. The paper's behaviour is FallbackOccupancy == QueueDepth
+	// (fall back only when the array is full); the auto-tuner explores
+	// earlier fallback as a way to bound sweep work under bursts.
+	FallbackOccupancy int
 	// DisableTickSweep and DisableContextSwitchSweep turn off the sweep
 	// trigger points (both on in the paper; ablation knobs here).
 	DisableTickSweep          bool
@@ -51,11 +57,12 @@ type Config struct {
 // DefaultConfig returns the paper's parameters.
 func DefaultConfig() Config {
 	return Config{
-		QueueDepth:    64,
-		ReclaimDelay:  2 * sim.Millisecond,
-		ReclaimPeriod: sim.Millisecond,
-		GateTimeout:   10 * sim.Millisecond,
-		AuditLeakAge:  50 * sim.Millisecond,
+		QueueDepth:        64,
+		ReclaimDelay:      2 * sim.Millisecond,
+		ReclaimPeriod:     sim.Millisecond,
+		GateTimeout:       10 * sim.Millisecond,
+		AuditLeakAge:      50 * sim.Millisecond,
+		FallbackOccupancy: 64,
 	}
 }
 
@@ -78,6 +85,9 @@ func (c Config) Validate() error {
 	if c.AuditLeakAge < 0 {
 		return fmt.Errorf("latr: AuditLeakAge %v is negative", c.AuditLeakAge)
 	}
+	if c.FallbackOccupancy < 0 {
+		return fmt.Errorf("latr: FallbackOccupancy %d is negative", c.FallbackOccupancy)
+	}
 	return nil
 }
 
@@ -98,7 +108,25 @@ func (c Config) withDefaults() Config {
 	if c.AuditLeakAge <= 0 {
 		c.AuditLeakAge = d.AuditLeakAge
 	}
+	if c.FallbackOccupancy <= 0 || c.FallbackOccupancy > c.QueueDepth {
+		c.FallbackOccupancy = c.QueueDepth
+	}
 	return c
+}
+
+// ConfigFromTunables projects the kernel-wide knob struct onto the LATR
+// policy config. The cost-model knobs (sweep cadence, full-flush cutoff)
+// are applied separately by kernel.New via Options.Tunables; the fields
+// Tunables does not cover (gate timeout, audit age, sweep-trigger gates)
+// keep their defaults.
+func ConfigFromTunables(t kernel.Tunables) Config {
+	t = t.WithDefaults()
+	return Config{
+		QueueDepth:        t.QueueDepth,
+		ReclaimDelay:      t.ReclaimDelay,
+		ReclaimPeriod:     t.ReclaimPeriod,
+		FallbackOccupancy: t.FallbackOccupancy,
+	}
 }
 
 // State is one LATR state entry (Fig 4): 68 bytes in the paper's kernel.
@@ -232,7 +260,13 @@ func (p *Policy) record(c *kernel.Core, s State) (*State, bool) {
 		}
 	}
 	p.k.Metrics.Observe("latr.queue_occupancy", sim.Time(occupied))
-	if free < 0 {
+	// Policies built by literal may carry a zero or out-of-range fallback
+	// threshold; treat both as the paper behaviour (full queue only).
+	limit := p.cfg.FallbackOccupancy
+	if limit <= 0 || limit > len(q) {
+		limit = len(q)
+	}
+	if free < 0 || occupied >= limit {
 		p.k.Metrics.Inc("latr.queue_full", 1)
 		return nil, false
 	}

@@ -309,6 +309,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return Virt(o), nil
 	case "ptrepl":
 		return Ptrepl(o), nil
+	case "tune":
+		return Tune(o), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -328,6 +330,6 @@ func PaperIDs() []string {
 func IDs() []string {
 	return append(PaperIDs(),
 		"abl-depth", "abl-sweep", "abl-delay", "abl-transport", "abl-variants",
-		"abl-thp", "cluster", "virt", "ptrepl",
+		"abl-thp", "cluster", "virt", "ptrepl", "tune",
 	)
 }

@@ -30,6 +30,7 @@ func Table1() *Table {
 	t.AddRow("Permission", "mprotect()", "no", "kernel.Policy.SyncChange (IPI path for all policies)")
 	t.AddRow("Ownership", "fork()/CoW", "no", "kernel.OpFork + breakCoW (write-protect and copy both via SyncChange)")
 	t.AddRow("Remap", "mremap()", "no", "SyncChange")
+	t.AddRow("Free/Migration", "any lazy op, tuned LATR", "yes", "same LATR paths with knobs from the internal/tune search (exp \"tune\")")
 	t.Note("lazy is impossible where PTE changes must be globally visible before the call returns (§8)")
 	return t
 }
@@ -51,6 +52,7 @@ func Table2() *Table {
 	t.AddRow("Barrelfish", "-", "yes", "-", "yes", "shootdown.Barrelfish")
 	t.AddRow("Linux", "-", "-", "-", "yes", "shootdown.Linux")
 	t.AddRow("LATR", "yes", "yes", "yes", "yes", "core.Policy")
+	t.AddRow("LATR (auto-tuned)", "yes", "yes", "yes", "yes", "core.Policy + internal/tune genome (exp \"tune\")")
 	return t
 }
 
@@ -70,6 +72,7 @@ func Table3() *Table {
 	t.AddRow("L1 D-TLB", fmt.Sprintf("%d entries", a.L1TLBEntries), fmt.Sprintf("%d entries", b.L1TLBEntries))
 	t.AddRow("L2 TLB", fmt.Sprintf("%d entries", a.L2TLBEntries), fmt.Sprintf("%d entries", b.L2TLBEntries))
 	t.AddRow("max IPI hops", fmt.Sprintf("%d", a.MaxHops()), fmt.Sprintf("%d", b.MaxHops()))
+	t.AddRow("LATR knobs", "paper defaults or tuned (exp \"tune\")", "paper defaults or tuned (exp \"tune\")")
 	return t
 }
 

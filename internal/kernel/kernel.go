@@ -45,6 +45,13 @@ type Options struct {
 	SpanLimit int
 	// Seed feeds all kernel-side randomness.
 	Seed uint64
+	// Tunables, when non-nil, overlays the validated knob struct onto the
+	// cost model before the machine is built (sweep cadence, full-flush
+	// cutoff). New panics if the struct fails Validate — a tunables bug is
+	// a programming error, like an invalid topology. The policy- and
+	// ptrepl-owned knobs travel separately through their configs; nil
+	// keeps the paper defaults byte-for-byte.
+	Tunables *Tunables
 	// Engine, when non-nil, is the event engine the kernel schedules on
 	// instead of a private one. The cluster layer uses this to run N
 	// simulated machines on one shared clock: every kernel's events
@@ -98,6 +105,12 @@ type Kernel struct {
 func New(spec topo.Spec, model cost.Model, pol Policy, opts Options) *Kernel {
 	if err := spec.Validate(); err != nil {
 		panic(err)
+	}
+	if opts.Tunables != nil {
+		if err := opts.Tunables.Validate(); err != nil {
+			panic(err)
+		}
+		opts.Tunables.ApplyCost(&model)
 	}
 	eng := opts.Engine
 	if eng == nil {

@@ -196,6 +196,40 @@ func (s *Span) mark(p Phase, core topo.CoreID, begin, dur sim.Time, lazy, unsafe
 	s.col.emit(s, p, core, begin, dur, lazy, unsafe)
 }
 
+// PhaseTotal sums the span's recorded events for phase p: how many times
+// the phase ran and the total duration spent in it. The counterfactual
+// differ (internal/tune) compares these across a knob perturbation.
+func (s *Span) PhaseTotal(p Phase) (count int, total sim.Time) {
+	if s == nil {
+		return 0, 0
+	}
+	for _, e := range s.Events {
+		if e.Phase == p {
+			count++
+			total += e.Dur
+		}
+	}
+	return count, total
+}
+
+// PhaseLazy reports whether phase p ran at all and, if so, whether every
+// recorded execution of it took the deferred (LATR) path. A span whose
+// send phase ran but was not lazy went through the synchronous IPI
+// fallback — the transition the counterfactual differ looks for.
+func (s *Span) PhaseLazy(p Phase) (ran, lazy bool) {
+	if s == nil {
+		return false, false
+	}
+	lazy = true
+	for _, e := range s.Events {
+		if e.Phase == p {
+			ran = true
+			lazy = lazy && e.Lazy
+		}
+	}
+	return ran, ran && lazy
+}
+
 // Retain adds one reference: an outstanding obligation (deferred quiesce,
 // lazy reclaim) that must Release before the span closes.
 func (s *Span) Retain() {

@@ -127,6 +127,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithTunables overlays the search-tunable replication thresholds from the
+// kernel-wide knob struct; policy, laziness and mutation are not tunable
+// and stay as configured.
+func (c Config) WithTunables(t kernel.Tunables) Config {
+	t = t.WithDefaults()
+	c.ReplicateThreshold = t.ReplicateThreshold
+	c.MigrateThreshold = t.MigrateThreshold
+	return c
+}
+
 // ModeNames lists the litmus/experiment mode names ModeByName accepts.
 func ModeNames() []string {
 	return []string{"none", "replicate-all", "adaptive", "replicate-all-lazy", "adaptive-lazy"}

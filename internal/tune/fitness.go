@@ -1,0 +1,316 @@
+package tune
+
+import (
+	"fmt"
+
+	latrcore "latr/internal/core"
+	"latr/internal/cost"
+	"latr/internal/fan"
+	"latr/internal/kernel"
+	"latr/internal/ptrepl"
+	"latr/internal/remote"
+	"latr/internal/sim"
+	"latr/internal/swap"
+	"latr/internal/topo"
+	"latr/internal/workload"
+)
+
+// Cell is one (workload × topology) fitness cell.
+type Cell struct {
+	Workload string // "churn" or "memcached"
+	Machine  string // "2x8" or "8x15"
+}
+
+func (c Cell) String() string { return c.Workload + "@" + c.Machine }
+
+func (c Cell) spec() topo.Spec {
+	switch c.Machine {
+	case "2x8":
+		return topo.TwoSocket16()
+	case "8x15":
+		return topo.EightSocket120()
+	}
+	panic(fmt.Sprintf("tune: unknown machine %q", c.Machine))
+}
+
+// Cells returns the evaluation matrix: the munmap-burst churn workload on
+// both reference machines plus the remote-memory memcached case study on
+// the commodity machine (full mode adds the big machine's memcached run —
+// in quick mode it costs more than the rest of the matrix combined).
+func Cells(quick bool) []Cell {
+	cells := []Cell{
+		{Workload: "churn", Machine: "2x8"},
+		{Workload: "churn", Machine: "8x15"},
+		{Workload: "memcached", Machine: "2x8"},
+	}
+	if !quick {
+		cells = append(cells, Cell{Workload: "memcached", Machine: "8x15"})
+	}
+	return cells
+}
+
+// Measurement is the raw multi-objective outcome of one cell run. A zero
+// objective means the cell has no such signal (the churn cells serve no
+// requests; the memcached cell's frees happen inside the swapper, not as
+// munmap calls).
+type Measurement struct {
+	// MunmapNS is the mean munmap/migration overhead in nanoseconds: the
+	// initiator-side latency of the lazy free path that both munmap and
+	// page migration ride.
+	MunmapNS float64
+	// P99NS is the memcached p99 request latency in nanoseconds.
+	P99NS float64
+	// FallbackRate is the fraction of LATR operations that fell back to
+	// a synchronous IPI (queue at the fallback threshold).
+	FallbackRate float64
+}
+
+// CellScore is one cell's measurement plus its normalized score.
+type CellScore struct {
+	Cell Cell
+	Measurement
+	// Score is the weighted sum of the cell's objectives, each normalized
+	// by the paper-default measurement of the same cell: 1.0 means "as
+	// good as the paper config", below 1.0 beats it. Lower is better.
+	Score float64
+}
+
+// Fitness is a genome's full evaluation: one score per cell and the
+// scalar the search ranks by (the mean of the cell scores).
+type Fitness struct {
+	Cells []CellScore
+	Score float64
+}
+
+// Objective weights. Overhead on the free/migration path is the paper's
+// headline metric; tail latency is the case-study payoff; the fallback
+// rate is the guardrail that keeps the search from "winning" by pushing
+// everything onto the sync path.
+const (
+	weightMunmap   = 0.50
+	weightP99      = 0.35
+	weightFallback = 0.15
+	// fallbackEps regularizes the fallback-rate ratio: the paper default
+	// often measures a rate of exactly zero.
+	fallbackEps = 0.01
+)
+
+// score folds a measurement against its same-cell baseline. Objectives
+// missing from the baseline (zero) are skipped and the weights of the
+// present ones renormalized.
+func score(m, base Measurement) float64 {
+	sum, wsum := 0.0, 0.0
+	if base.MunmapNS > 0 {
+		sum += weightMunmap * (m.MunmapNS / base.MunmapNS)
+		wsum += weightMunmap
+	}
+	if base.P99NS > 0 {
+		sum += weightP99 * (m.P99NS / base.P99NS)
+		wsum += weightP99
+	}
+	sum += weightFallback * ((fallbackEps + m.FallbackRate) / (fallbackEps + base.FallbackRate))
+	wsum += weightFallback
+	return sum / wsum
+}
+
+// Evaluator measures genomes over a cell matrix, normalizing every cell
+// against the paper-default genome measured once up front. Evaluation is
+// pure and deterministic: the same (cells, quick, seed, genome) always
+// produces the same Fitness, which is what lets the search fan evaluations
+// across any number of workers without changing a byte of its history.
+type Evaluator struct {
+	cells []Cell
+	quick bool
+	seed  uint64
+	base  []Measurement
+}
+
+// NewEvaluator builds an evaluator and measures the per-cell baselines
+// under kernel.DefaultTunables. Baselines are measured across workers
+// goroutines (order-preserving, so the result is worker-count-invariant).
+func NewEvaluator(cells []Cell, quick bool, seed uint64, workers int) *Evaluator {
+	e := &Evaluator{cells: cells, quick: quick, seed: seed}
+	defaults := kernel.DefaultTunables()
+	e.base = fan.Run(workers, cells, func(_ int, c Cell) Measurement {
+		return e.measure(c, defaults)
+	})
+	return e
+}
+
+// Cells returns the evaluation matrix.
+func (e *Evaluator) Cells() []Cell { return e.cells }
+
+// Baseline returns the paper-default measurement of cell i.
+func (e *Evaluator) Baseline(i int) Measurement { return e.base[i] }
+
+// Fitness evaluates one genome over every cell.
+func (e *Evaluator) Fitness(t kernel.Tunables) Fitness {
+	f := Fitness{Cells: make([]CellScore, len(e.cells))}
+	for i, c := range e.cells {
+		m := e.measure(c, t)
+		f.Cells[i] = CellScore{Cell: c, Measurement: m, Score: score(m, e.base[i])}
+		f.Score += f.Cells[i].Score
+	}
+	f.Score /= float64(len(e.cells))
+	return f
+}
+
+// Measure runs one cell under one genome (exported for the sensitivity
+// table and the counterfactual differ).
+func (e *Evaluator) Measure(c Cell, t kernel.Tunables) Measurement {
+	return e.measure(c, t)
+}
+
+func (e *Evaluator) measure(c Cell, t kernel.Tunables) Measurement {
+	k, m := runCell(c, t, e.quick, e.seed, 0)
+	_ = k
+	return m
+}
+
+// newTunedKernel assembles a machine whose every tunable comes from t:
+// the LATR policy config, the cost-model knobs (via kernel.Options), and
+// the adaptive page-table replication thresholds.
+func newTunedKernel(spec topo.Spec, t kernel.Tunables, seed uint64, spanLimit int) *kernel.Kernel {
+	tt := t.WithDefaults()
+	k := kernel.New(spec, cost.Default(spec), latrcore.New(latrcore.ConfigFromTunables(tt)), kernel.Options{
+		Seed:      seed ^ 0x9e3779b9,
+		Tunables:  &tt,
+		SpanLimit: spanLimit,
+	})
+	if _, err := ptrepl.Install(k, ptrepl.Config{Policy: ptrepl.PolicyAdaptive}.WithTunables(tt)); err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// runCell executes one (workload × topology) cell under genome t and
+// returns the kernel (for span export) plus the measurement.
+func runCell(c Cell, t kernel.Tunables, quick bool, seed uint64, spanLimit int) (*kernel.Kernel, Measurement) {
+	switch c.Workload {
+	case "churn":
+		return runChurn(c.spec(), t, quick, seed, spanLimit)
+	case "memcached":
+		return runMemcached(c.spec(), t, quick, seed, spanLimit)
+	}
+	panic(fmt.Sprintf("tune: unknown workload %q", c.Workload))
+}
+
+// churnCores picks n shootdown-target cores round-robin across NUMA
+// nodes, skipping core 0 (the churn thread's), so frees cross sockets on
+// both reference machines.
+func churnCores(spec topo.Spec, n int) []topo.CoreID {
+	var out []topo.CoreID
+	for i := 0; len(out) < n; i++ {
+		node := i % spec.NumNodes()
+		idx := i / spec.NumNodes()
+		cores := spec.CoresOnNode(topo.NodeID(node))
+		if idx >= len(cores) {
+			panic("tune: not enough cores for churn targets")
+		}
+		if c := cores[idx]; c != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runChurn is the munmap-burst cell: compute threads across the sockets
+// keep the address space resident in every TLB while core 0 issues
+// back-to-back mmap/munmap pairs — the worst case for state-slot
+// recycling, since the initiator never context-switches and slots free
+// only at the other cores' sweeps. It measures the munmap/migration
+// overhead and the fallback-IPI rate.
+func runChurn(spec topo.Spec, t kernel.Tunables, quick bool, seed uint64, spanLimit int) (*kernel.Kernel, Measurement) {
+	bursts := 400
+	if quick {
+		bursts = 150
+	}
+	if spec.NumCores() > 16 {
+		bursts /= 2 // the big machine pays more per burst; keep cells balanced
+	}
+	k := newTunedKernel(spec, t, seed, spanLimit)
+	p := k.NewProcess()
+	for _, c := range churnCores(spec, 13) {
+		p.Spawn(c, kernel.Loop(func(*kernel.Thread) kernel.Op {
+			return kernel.OpCompute{D: sim.Millisecond}
+		}))
+	}
+	n := 0
+	done := false
+	p.Spawn(0, kernel.Loop(func(th *kernel.Thread) kernel.Op {
+		if n >= 2*bursts {
+			done = true
+			return nil
+		}
+		n++
+		if n%2 == 1 {
+			return kernel.OpMmap{Pages: 4, Writable: true, Populate: true, Node: -1}
+		}
+		return kernel.OpMunmap{Addr: th.LastAddr, Pages: 4}
+	}))
+	limit := 10 * sim.Second
+	for k.Now() < limit && !done {
+		k.Run(k.Now() + sim.Millisecond)
+	}
+	if !done {
+		panic(fmt.Sprintf("tune: churn on %s did not finish", spec.Name))
+	}
+	// Drain: let the last states quiesce and the lazy lists empty, so
+	// span-complete counts and fallback totals are stable.
+	tt := t.WithDefaults()
+	k.Run(k.Now() + 2*tt.SweepPeriod + 2*tt.ReclaimDelay + 2*tt.ReclaimPeriod)
+	return k, Measurement{
+		MunmapNS:     float64(k.Metrics.Hist("munmap.latency").Mean()),
+		FallbackRate: fallbackRate(k),
+	}
+}
+
+// memcachedFramesPerNode recreates the Infiniswap precondition from the
+// remote-memory experiment: the KV arena cannot fit locally, so cold GETs
+// swap in over RDMA while the swapper concurrently evicts.
+const memcachedFramesPerNode = 1500
+
+// runMemcached is the tail-latency cell: the §6.2 memcached-over-remote-
+// memory case study, measuring p99 request latency and the fallback rate
+// of the eviction path's lazy frees.
+func runMemcached(spec topo.Spec, t kernel.Tunables, quick bool, seed uint64, spanLimit int) (*kernel.Kernel, Measurement) {
+	dur := 250 * sim.Millisecond
+	if quick {
+		dur = 100 * sim.Millisecond
+	}
+	spec.MemPerNodeBytes = memcachedFramesPerNode * 4096
+	k := newTunedKernel(spec, t, seed, spanLimit)
+	s := swap.NewWithBackend(swap.Config{
+		LowWatermarkFrames:  300,
+		HighWatermarkFrames: 500,
+		ScanPeriod:          sim.Millisecond,
+		BatchPages:          512,
+	}, remote.New(remote.Config{}))
+	s.Install(k)
+
+	cfg := workload.DefaultMemcachedConfig(churnCores(spec, 12))
+	cfg.Seed = seed + 1
+	w := workload.NewMemcached(cfg)
+	w.Setup(k)
+	s.Register(w.Proc())
+
+	k.Run(dur)
+	if !w.Loaded() {
+		panic(fmt.Sprintf("tune: memcached on %s never finished warm-up", spec.Name))
+	}
+	return k, Measurement{
+		P99NS:        float64(w.Latency().P99()),
+		FallbackRate: fallbackRate(k),
+	}
+}
+
+// fallbackRate is the fraction of LATR operations pushed onto the
+// synchronous IPI path.
+func fallbackRate(k *kernel.Kernel) float64 {
+	fb := float64(k.Metrics.Counter("latr.fallback_ipi"))
+	rec := float64(k.Metrics.Counter("latr.states_recorded"))
+	if fb+rec == 0 {
+		return 0
+	}
+	return fb / (fb + rec)
+}

@@ -1,0 +1,78 @@
+package tune
+
+import (
+	"testing"
+
+	latrcore "latr/internal/core"
+	"latr/internal/cost"
+	"latr/internal/kernel"
+	"latr/internal/sim"
+	"latr/internal/topo"
+)
+
+// TestConfigFromTunablesRoundTrips: the paper-default Tunables projected
+// into a core.Config and passed through the policy's own defaulting land
+// on exactly core.DefaultConfig() — the constants-to-struct refactor
+// changed the plumbing, not a single value.
+func TestConfigFromTunablesRoundTrips(t *testing.T) {
+	viaTunables := latrcore.New(latrcore.ConfigFromTunables(kernel.DefaultTunables())).Config()
+	direct := latrcore.New(latrcore.DefaultConfig()).Config()
+	if viaTunables != direct {
+		t.Fatalf("ConfigFromTunables(defaults) diverges:\n got %+v\nwant %+v", viaTunables, direct)
+	}
+	if err := latrcore.ConfigFromTunables(kernel.DefaultTunables()).Validate(); err != nil {
+		t.Fatalf("projected config invalid: %v", err)
+	}
+}
+
+// driveChurn runs a short fixed munmap-churn scenario on k and returns
+// its engine and metrics fingerprints.
+func driveChurn(k *kernel.Kernel) (engineFP, metricsFP uint64) {
+	p := k.NewProcess()
+	spec := k.Spec
+	for _, c := range churnCores(spec, 6) {
+		p.Spawn(c, kernel.Loop(func(*kernel.Thread) kernel.Op {
+			return kernel.OpCompute{D: sim.Millisecond}
+		}))
+	}
+	n := 0
+	p.Spawn(0, kernel.Loop(func(th *kernel.Thread) kernel.Op {
+		if n >= 80 {
+			return nil
+		}
+		n++
+		if n%2 == 1 {
+			return kernel.OpMmap{Pages: 4, Writable: true, Populate: true, Node: -1}
+		}
+		return kernel.OpMunmap{Addr: th.LastAddr, Pages: 4}
+	}))
+	k.Run(60 * sim.Millisecond)
+	return k.Engine.Fingerprint(), k.Metrics.Fingerprint()
+}
+
+// TestDefaultTunablesAreByteIdentical is the satellite digest-regression
+// test: a kernel built the pre-refactor way (nil Options.Tunables, zero
+// core.Config) and one routed through the full Tunables plumbing with
+// paper defaults must produce identical engine and metrics fingerprints
+// on the same scenario — the refactor is invisible at defaults.
+func TestDefaultTunablesAreByteIdentical(t *testing.T) {
+	spec := topo.TwoSocket16()
+	const seed = 41
+
+	old := kernel.New(spec, cost.Default(spec), latrcore.New(latrcore.Config{}), kernel.Options{Seed: seed})
+	oldEng, oldMet := driveChurn(old)
+
+	def := kernel.DefaultTunables()
+	nu := kernel.New(spec, cost.Default(spec), latrcore.New(latrcore.ConfigFromTunables(def)), kernel.Options{
+		Seed:     seed,
+		Tunables: &def,
+	})
+	nuEng, nuMet := driveChurn(nu)
+
+	if oldEng != nuEng {
+		t.Errorf("engine fingerprint diverged: %x (nil Tunables) vs %x (default Tunables)", oldEng, nuEng)
+	}
+	if oldMet != nuMet {
+		t.Errorf("metrics fingerprint diverged: %x (nil Tunables) vs %x (default Tunables)", oldMet, nuMet)
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"latr/internal/tlb"
 	"latr/internal/topo"
 	"latr/internal/trace"
+	"latr/internal/tune"
 	"latr/internal/vm"
 )
 
@@ -561,6 +562,50 @@ func PolicyNames() []string { return experiments.PolicyNames() }
 // vs LATR-lazy replica maintenance on both reference machines.
 func RunPtreplExperiment(o ExperimentOptions) *ExperimentTable {
 	return experiments.Ptrepl(o)
+}
+
+// Policy auto-tuning (internal/tune, DESIGN.md §16): a typed parameter
+// space over the kernel's validated knob set, a seeded evolutionary search
+// with a multi-objective fitness, and a counterfactual span differ that
+// re-runs a recorded seed with one knob perturbed.
+type (
+	// Tunables is the validated home of every hand-fixed LATR knob; the
+	// zero value means paper defaults.
+	Tunables = kernel.Tunables
+	// TuneParamSpace is the typed search space over Tunables.
+	TuneParamSpace = tune.ParamSpace
+	// TuneSearchConfig sizes the evolutionary search.
+	TuneSearchConfig = tune.SearchConfig
+	// TuneResult is a finished search: baseline, history, best genome.
+	TuneResult = tune.Result
+	// TuneCell is one (workload × topology) fitness cell.
+	TuneCell = tune.Cell
+	// CounterfactualConfig names one knob perturbation of a recorded seed.
+	CounterfactualConfig = tune.CounterfactualConfig
+	// CounterfactualDiff is the structured span-level diff of the two runs.
+	CounterfactualDiff = tune.Diff
+)
+
+// DefaultTunables returns the paper's hand-fixed knob values.
+func DefaultTunables() Tunables { return kernel.DefaultTunables() }
+
+// TuneSpace returns the canonical parameter space over Tunables.
+func TuneSpace() TuneParamSpace { return tune.Space() }
+
+// RunTuneSearch runs the seeded evolutionary search; the generation
+// history is byte-identical at any worker count.
+func RunTuneSearch(cfg TuneSearchConfig) *TuneResult { return tune.Search(cfg) }
+
+// RunCounterfactual re-runs a recorded seed with one knob perturbed and
+// diffs the resulting coherence spans.
+func RunCounterfactual(cfg CounterfactualConfig) (*CounterfactualDiff, error) {
+	return tune.Counterfactual(cfg)
+}
+
+// RunTuneExperiment regenerates the auto-tuning table (experiment id
+// "tune"): search result plus the knob-sensitivity sweep.
+func RunTuneExperiment(o ExperimentOptions) *ExperimentTable {
+	return experiments.Tune(o)
 }
 
 // ExperimentRunSpec identifies one cell of the experiment matrix.
